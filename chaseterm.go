@@ -1,0 +1,698 @@
+// Package chaseterm is a library for reasoning about the chase procedure
+// over existential rules (tuple-generating dependencies, TGDs), built as a
+// faithful implementation of
+//
+//	Marco Calautti, Georg Gottlob, Andreas Pieris:
+//	"Chase Termination for Guarded Existential Rules", PODS 2015.
+//
+// It provides:
+//
+//   - the three standard chase variants (oblivious, semi-oblivious,
+//     restricted) as bounded, instrumented engines (RunChase);
+//   - syntactic classification of rule sets into the paper's classes —
+//     simple-linear ⊆ linear ⊆ guarded ⊆ general (Classify);
+//   - exact decision procedures for all-instance chase termination
+//     (DecideTermination): critical-weak/rich acyclicity for linear rules
+//     (Theorems 1–3) and the guarded chase-forest decision procedure
+//     (Theorem 4), plus sound fallbacks (weak/rich acyclicity, bounded
+//     critical-instance saturation) outside the guarded class, where the
+//     problem is undecidable;
+//   - the looping operator (LoopEntailment), the paper's reduction from
+//     propositional atom entailment to the complement of chase
+//     termination, usable to generate hard termination instances.
+//
+// # Quick start
+//
+//	rules, _ := chaseterm.ParseRules(`person(X) -> hasFather(X,Y), person(Y).`)
+//	v, _ := chaseterm.DecideTermination(rules, chaseterm.SemiOblivious)
+//	fmt.Println(v.Terminates) // "non-terminating": Example 1 runs forever
+//
+// Rule syntax: `body -> head.` with comma-separated atoms; identifiers
+// starting with an upper-case letter (or '_') are variables; head
+// variables absent from the body are existentially quantified; facts are
+// ground atoms terminated by '.'.
+package chaseterm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"chaseterm/internal/acyclicity"
+	"chaseterm/internal/chase"
+	"chaseterm/internal/core"
+	"chaseterm/internal/critical"
+	"chaseterm/internal/instance"
+	"chaseterm/internal/logic"
+	"chaseterm/internal/looping"
+	"chaseterm/internal/parse"
+)
+
+// Variant selects a chase flavour. See the package documentation of
+// internal/chase for the exact trigger semantics.
+type Variant int
+
+const (
+	// Oblivious applies one trigger per distinct homomorphism.
+	Oblivious Variant = iota
+	// SemiOblivious (Skolem) applies one trigger per distinct frontier
+	// restriction.
+	SemiOblivious
+	// Restricted applies only triggers whose head is not yet satisfied.
+	Restricted
+)
+
+func (v Variant) String() string { return v.engine().String() }
+
+func (v Variant) engine() chase.Variant {
+	switch v {
+	case Oblivious:
+		return chase.Oblivious
+	case SemiOblivious:
+		return chase.SemiOblivious
+	default:
+		return chase.Restricted
+	}
+}
+
+// ParseVariant accepts "o"/"oblivious", "so"/"semi-oblivious"/"skolem",
+// "r"/"restricted"/"standard".
+func ParseVariant(s string) (Variant, error) {
+	cv, err := chase.ParseVariant(s)
+	if err != nil {
+		return 0, err
+	}
+	switch cv {
+	case chase.Oblivious:
+		return Oblivious, nil
+	case chase.SemiOblivious:
+		return SemiOblivious, nil
+	default:
+		return Restricted, nil
+	}
+}
+
+// Class is a syntactic class of rule sets, ordered by inclusion.
+type Class int
+
+const (
+	// SimpleLinear: one body atom, no repeated body variables.
+	SimpleLinear Class = iota
+	// Linear: one body atom.
+	Linear
+	// Guarded: some body atom holds all universally quantified variables.
+	Guarded
+	// General: everything else.
+	General
+)
+
+func (c Class) String() string {
+	return [...]string{"simple-linear", "linear", "guarded", "general"}[c]
+}
+
+// RuleSet is a parsed, validated set of TGDs.
+type RuleSet struct {
+	rs *logic.RuleSet
+}
+
+// ParseRules parses a rule set from text.
+func ParseRules(src string) (*RuleSet, error) {
+	rs, err := parse.ParseRules(src)
+	if err != nil {
+		return nil, err
+	}
+	return &RuleSet{rs: rs}, nil
+}
+
+// MustParseRules is ParseRules panicking on error, for tests and examples.
+func MustParseRules(src string) *RuleSet {
+	rs, err := ParseRules(src)
+	if err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// String renders the rule set in the input syntax.
+func (r *RuleSet) String() string { return r.rs.String() }
+
+// NumRules returns the number of TGDs.
+func (r *RuleSet) NumRules() int { return len(r.rs.Rules) }
+
+// Classify returns the most specific syntactic class containing the set.
+func (r *RuleSet) Classify() Class {
+	switch r.rs.Classify() {
+	case logic.ClassSimpleLinear:
+		return SimpleLinear
+	case logic.ClassLinear:
+		return Linear
+	case logic.ClassGuarded:
+		return Guarded
+	default:
+		return General
+	}
+}
+
+// MaxArity returns the maximum predicate arity of the schema.
+func (r *RuleSet) MaxArity() int { return r.rs.MaxArity() }
+
+// Predicates lists the schema as "name/arity" strings.
+func (r *RuleSet) Predicates() []string {
+	var out []string
+	for _, p := range r.rs.Schema() {
+		out = append(out, p.String())
+	}
+	return out
+}
+
+// Internal returns the underlying representation; exposed for the
+// command-line tools and benchmarks living in this module.
+func (r *RuleSet) Internal() *logic.RuleSet { return r.rs }
+
+// Database is a finite set of ground facts.
+type Database struct {
+	atoms []logic.Atom
+}
+
+// ParseDatabase parses ground facts from text.
+func ParseDatabase(src string) (*Database, error) {
+	fs, err := parse.ParseFacts(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Database{atoms: fs}, nil
+}
+
+// MustParseDatabase is ParseDatabase panicking on error.
+func MustParseDatabase(src string) *Database {
+	db, err := ParseDatabase(src)
+	if err != nil {
+		panic(err)
+	}
+	return db
+}
+
+// Size returns the number of facts.
+func (d *Database) Size() int { return len(d.atoms) }
+
+// String renders the database in the input syntax.
+func (d *Database) String() string { return parse.FormatFacts(d.atoms) }
+
+// CriticalDatabase returns the critical instance I*(Σ): all atoms over the
+// schema of the rule set filled with a fresh constant ✶ and the rule
+// constants. The (semi-)oblivious chase terminates on every database iff
+// it terminates on this one (Marnette's lemma; see internal/critical).
+func CriticalDatabase(rules *RuleSet) *Database {
+	return &Database{atoms: critical.Facts(rules.rs)}
+}
+
+// ChaseOutcome reports how a chase run ended.
+type ChaseOutcome int
+
+const (
+	// Terminated: the run reached a fixpoint; the result is a universal
+	// model of the database and the rules.
+	Terminated ChaseOutcome = iota
+	// BudgetExceeded: the fact/trigger budget ran out first.
+	BudgetExceeded
+	// DepthExceeded: an invented term exceeded Options.MaxDepth.
+	DepthExceeded
+)
+
+func (o ChaseOutcome) String() string {
+	return [...]string{"terminated", "budget-exceeded", "depth-exceeded"}[o]
+}
+
+// ChaseOptions bound a chase run; the zero value means generous defaults
+// (10^6 facts and triggers).
+type ChaseOptions struct {
+	MaxTriggers int
+	MaxFacts    int
+	MaxDepth    int
+}
+
+// ChaseStats aggregates run statistics.
+type ChaseStats struct {
+	InitialFacts      int
+	FactsAdded        int
+	TriggersApplied   int
+	TriggersNoop      int
+	TriggersSatisfied int
+	MaxTermDepth      int
+}
+
+// ChaseResult is the outcome of RunChase.
+type ChaseResult struct {
+	Variant Variant
+	Outcome ChaseOutcome
+	Stats   ChaseStats
+	facts   []string
+	inst    *instance.Instance
+}
+
+// Facts returns the final instance as sorted, rendered atoms. Invented
+// nulls render as z1, z2, …; Skolem terms as f0_Y(bob) etc.
+func (r *ChaseResult) Facts() []string { return r.facts }
+
+// Query evaluates a conjunctive query over the chase result and returns
+// the certain answers: the bindings of the answer variables that contain
+// no invented value. When the chase Terminated, its result is a universal
+// model, so these are exactly the certain answers of the query over the
+// database and the rules — the classic use of the chase for query
+// answering under constraints.
+//
+// body is a comma-separated conjunction, e.g. "teaches(P,C), course(C)";
+// answerVars names the variables to project, e.g. "P", "C". Each answer is
+// a tuple of rendered constants in answerVars order; answers are
+// deduplicated and sorted.
+func (r *ChaseResult) Query(body string, answerVars ...string) ([][]string, error) {
+	atoms, err := parse.ParseAtomList(body)
+	if err != nil {
+		return nil, err
+	}
+	pat, err := instance.CompileBody(r.inst, atoms)
+	if err != nil {
+		return nil, err
+	}
+	proj := make([]int, len(answerVars))
+	for i, v := range answerVars {
+		idx := pat.VarIndex(logic.Variable(v))
+		if idx < 0 {
+			return nil, fmt.Errorf("chaseterm: answer variable %s does not occur in the query", v)
+		}
+		proj[i] = idx
+	}
+	seen := make(map[string]bool)
+	var out [][]string
+	r.inst.FindHoms(pat, nil, func(binding []instance.TermID) bool {
+		tuple := make([]string, len(proj))
+		for i, idx := range proj {
+			t := binding[idx]
+			if r.inst.Terms.IsInvented(t) {
+				return true // not a certain answer
+			}
+			tuple[i] = r.inst.Terms.String(t)
+		}
+		key := strings.Join(tuple, "\x00")
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, tuple)
+		}
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out, nil
+}
+
+// CoreFacts computes the core of the chase result — its smallest retract,
+// with constants rigid and invented values foldable — and returns it as
+// sorted rendered atoms along with the number of redundant facts removed.
+// For a terminated restricted or oblivious chase in a data-exchange
+// setting, this is the minimal universal solution ("getting to the core",
+// Fagin–Kolaitis–Popa).
+func (r *ChaseResult) CoreFacts() (facts []string, removed int) {
+	core, n := instance.Core(r.inst)
+	return core.Strings(), n
+}
+
+// Holds reports whether the boolean conjunctive query has at least one
+// homomorphism into the chase result (invented values allowed — this is
+// certain-answer semantics for a boolean query over a universal model).
+func (r *ChaseResult) Holds(body string) (bool, error) {
+	atoms, err := parse.ParseAtomList(body)
+	if err != nil {
+		return false, err
+	}
+	pat, err := instance.CompileBody(r.inst, atoms)
+	if err != nil {
+		return false, err
+	}
+	return r.inst.HasHom(pat, nil), nil
+}
+
+// RunChase executes the selected chase variant on the database and returns
+// the result. A Terminated outcome yields a universal model.
+func RunChase(db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*ChaseResult, error) {
+	res, err := chase.RunFromAtoms(db.atoms, rules.rs, v.engine(), chase.Options{
+		MaxTriggers: opt.MaxTriggers,
+		MaxFacts:    opt.MaxFacts,
+		MaxDepth:    int32(opt.MaxDepth),
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &ChaseResult{
+		Variant: v,
+		inst:    res.Instance,
+		Stats: ChaseStats{
+			InitialFacts:      res.Stats.InitialFacts,
+			FactsAdded:        res.Stats.FactsAdded,
+			TriggersApplied:   res.Stats.TriggersApplied,
+			TriggersNoop:      res.Stats.TriggersNoop,
+			TriggersSatisfied: res.Stats.TriggersSatisfied,
+			MaxTermDepth:      int(res.Stats.MaxTermDepth),
+		},
+		facts: res.Instance.Strings(),
+	}
+	switch res.Outcome {
+	case chase.Terminated:
+		out.Outcome = Terminated
+	case chase.DepthExceeded:
+		out.Outcome = DepthExceeded
+	default:
+		out.Outcome = BudgetExceeded
+	}
+	return out, nil
+}
+
+// Ternary is a three-valued answer.
+type Ternary int
+
+const (
+	// Unknown: no procedure could decide (only outside the guarded class).
+	Unknown Ternary = iota
+	// Yes: the chase terminates on every database.
+	Yes
+	// No: some database (the critical instance) has a non-terminating
+	// chase.
+	No
+)
+
+func (t Ternary) String() string {
+	return [...]string{"unknown", "terminating", "non-terminating"}[t]
+}
+
+// Verdict is the result of DecideTermination.
+type Verdict struct {
+	// Terminates answers "is the rule set in CT^v?".
+	Terminates Ternary
+	// Class is the syntactic class the decision was made in.
+	Class Class
+	// Method names the procedure: critical-weak-acyclicity,
+	// critical-rich-acyclicity, guarded-forest, guarded-forest(aux),
+	// weak-acyclicity, rich-acyclicity, critical-saturation,
+	// bounded-oracle.
+	Method string
+	// Witness is a human-readable non-termination certificate (a pumpable
+	// shape cycle or node-type cycle), or a diagnostic for Unknown.
+	Witness string
+	// SearchSpace reports the explored abstraction size (shapes or node
+	// types), the quantity behind the paper's complexity bounds.
+	SearchSpace int
+}
+
+// DecideTermination decides membership in CT^v — "does every v-chase
+// sequence terminate on every input database?" — for the oblivious and
+// semi-oblivious chase. The decision is exact for linear and guarded rule
+// sets (the paper's Theorems 1–4); for general TGDs the problem is
+// undecidable and the verdict may be Unknown. For the restricted chase no
+// exact procedure is known (the paper's future work); weak acyclicity is
+// used as a sound sufficient condition and Unknown is returned otherwise.
+func DecideTermination(rules *RuleSet, v Variant) (*Verdict, error) {
+	return DecideTerminationOpts(rules, v, DecideOptions{})
+}
+
+// DecideOptions bound the decision procedures.
+type DecideOptions struct {
+	// MaxShapes caps the linear decider's abstract-shape space.
+	MaxShapes int
+	// MaxNodeTypes caps the guarded decider's node-type space.
+	MaxNodeTypes int
+	// OracleMaxTriggers / OracleMaxFacts bound the fallback critical
+	// chase for general rule sets.
+	OracleMaxTriggers int
+	OracleMaxFacts    int
+}
+
+// DecideTerminationOpts is DecideTermination with explicit budgets.
+func DecideTerminationOpts(rules *RuleSet, v Variant, opt DecideOptions) (*Verdict, error) {
+	class := rules.Classify()
+	if v == Restricted {
+		return decideRestricted(rules, class, opt)
+	}
+	cv := core.VariantSemiOblivious
+	if v == Oblivious {
+		cv = core.VariantOblivious
+	}
+	verdict, err := core.Decide(rules.rs, cv, core.DecideOptions{
+		Options: core.Options{
+			MaxShapes:    opt.MaxShapes,
+			MaxNodeTypes: opt.MaxNodeTypes,
+		},
+		OracleMaxTriggers: opt.OracleMaxTriggers,
+		OracleMaxFacts:    opt.OracleMaxFacts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return fromCoreVerdict(verdict, class), nil
+}
+
+func fromCoreVerdict(v *core.Verdict, class Class) *Verdict {
+	out := &Verdict{
+		Class:   class,
+		Method:  v.Method,
+		Witness: v.Witness,
+	}
+	switch v.Answer {
+	case core.Terminating:
+		out.Terminates = Yes
+	case core.NonTerminating:
+		out.Terminates = No
+	default:
+		out.Terminates = Unknown
+	}
+	if v.ShapeCount > 0 {
+		out.SearchSpace = v.ShapeCount
+	} else {
+		out.SearchSpace = v.NodeTypeCount
+	}
+	return out
+}
+
+// decideRestricted: the paper leaves the restricted chase open (Section
+// 4); we report the sound answers available. Termination of the
+// semi-oblivious chase implies termination of the restricted chase (the
+// restricted chase applies a subset of the semi-oblivious triggers on
+// every database), so an exact Yes for CT^so transfers.
+func decideRestricted(rules *RuleSet, class Class, opt DecideOptions) (*Verdict, error) {
+	so, err := DecideTerminationOpts(rules, SemiOblivious, opt)
+	if err != nil {
+		return nil, err
+	}
+	if so.Terminates == Yes {
+		return &Verdict{
+			Terminates:  Yes,
+			Class:       class,
+			Method:      so.Method + "→restricted",
+			SearchSpace: so.SearchSpace,
+		}, nil
+	}
+	return &Verdict{
+		Terminates: Unknown,
+		Class:      class,
+		Method:     "restricted-open",
+		Witness: "deciding restricted-chase termination is the paper's open problem; " +
+			"CT^so gave " + so.Terminates.String(),
+	}, nil
+}
+
+// DecideTerminationOnDatabase decides whether the v-chase of the GIVEN
+// database under the rule set terminates — the fixed-database variant of
+// the termination problem. Exact for linear and guarded rule sets (the
+// abstractions of Theorems 2 and 4 apply unchanged when seeded with the
+// database instead of the critical instance); for general TGDs the problem
+// stays undecidable and a bounded run decides only the positive direction.
+// The restricted variant reports Yes when the semi-oblivious chase of the
+// database terminates (its triggers subsume the restricted ones) and
+// Unknown otherwise.
+func DecideTerminationOnDatabase(db *Database, rules *RuleSet, v Variant) (*Verdict, error) {
+	class := rules.Classify()
+	if v == Restricted {
+		so, err := DecideTerminationOnDatabase(db, rules, SemiOblivious)
+		if err != nil {
+			return nil, err
+		}
+		if so.Terminates == Yes {
+			so.Method += "→restricted"
+			return so, nil
+		}
+		return &Verdict{Terminates: Unknown, Class: class, Method: "restricted-open",
+			Witness: "restricted-chase termination is open; CT^so on this database gave " + so.Terminates.String()}, nil
+	}
+	cv := core.VariantSemiOblivious
+	if v == Oblivious {
+		cv = core.VariantOblivious
+	}
+	switch class {
+	case SimpleLinear, Linear:
+		res, err := core.DecideLinearOn(rules.rs, db.atoms, cv, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Verdict.Method += "(fixed-db)"
+		return fromCoreVerdict(res.Verdict, class), nil
+	case Guarded:
+		target := rules.rs
+		method := "guarded-forest(fixed-db)"
+		if v == Oblivious {
+			target = critical.AuxTransform(rules.rs)
+			method = "guarded-forest(aux,fixed-db)"
+		}
+		res, err := core.DecideGuardedOn(target, db.atoms, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res.Verdict.Method = method
+		out := fromCoreVerdict(res.Verdict, class)
+		return out, nil
+	default:
+		run, err := RunChase(db, rules, v, ChaseOptions{MaxTriggers: 200_000, MaxFacts: 200_000})
+		if err != nil {
+			return nil, err
+		}
+		if run.Outcome == Terminated {
+			return &Verdict{Terminates: Yes, Class: class, Method: "saturation(fixed-db)"}, nil
+		}
+		return &Verdict{Terminates: Unknown, Class: class, Method: "bounded-run(fixed-db)",
+			Witness: fmt.Sprintf("run stopped with %s after %d facts", run.Outcome, run.Stats.FactsAdded)}, nil
+	}
+}
+
+// AcyclicityReport collects the positional sufficient conditions for chase
+// termination, ordered by strength: RA ⊆ WA ⊆ JA. Rich acyclicity implies
+// CT^o; weak and joint acyclicity imply CT^so (and hence restricted-chase
+// termination). All three are sound but incomplete — the exact deciders of
+// DecideTermination subsume them on linear and guarded sets (experiment
+// E14 quantifies the gap).
+type AcyclicityReport struct {
+	RichlyAcyclic  bool
+	WeaklyAcyclic  bool
+	JointlyAcyclic bool
+	// RAWitness / WAWitness describe a dangerous cycle when the
+	// corresponding check fails.
+	RAWitness string
+	WAWitness string
+}
+
+// CheckAcyclicity evaluates the positional acyclicity criteria on the rule
+// set.
+func CheckAcyclicity(rules *RuleSet) AcyclicityReport {
+	var rep AcyclicityReport
+	var w *acyclicity.Witness
+	rep.RichlyAcyclic, w = acyclicity.IsRichlyAcyclic(rules.rs)
+	if w != nil {
+		rep.RAWitness = w.String()
+	}
+	rep.WeaklyAcyclic, w = acyclicity.IsWeaklyAcyclic(rules.rs)
+	if w != nil {
+		rep.WAWitness = w.String()
+	}
+	rep.JointlyAcyclic = acyclicity.IsJointlyAcyclic(rules.rs)
+	return rep
+}
+
+// ExploreResult reports the outcome of ExploreRestrictedSequences.
+type ExploreResult struct {
+	// Found: some restricted-chase sequence from the database terminates;
+	// Trace lists the applied rule indexes of one shortest such sequence.
+	Found bool
+	// Exhausted: the search space was fully explored without pruning;
+	// combined with Found == false this certifies that every restricted
+	// sequence diverges past the fact bound.
+	Exhausted      bool
+	StatesExplored int
+	Trace          []int
+	FinalFacts     []string
+}
+
+// ExploreOptions bound ExploreRestrictedSequences (zero values = defaults:
+// 10k states, 200 facts per state).
+type ExploreOptions struct {
+	MaxStates int
+	MaxFacts  int
+}
+
+// ExploreRestrictedSequences searches the tree of restricted-chase
+// sequences of the database for a terminating one, branching on which
+// active trigger fires next. The paper's §2 defines both the ∀-sequence
+// and ∃-sequence termination problems; they coincide for the oblivious and
+// semi-oblivious chase but differ for the restricted chase, where firing a
+// "repairing" trigger first can satisfy an "inventing" trigger before it
+// is considered — this explorer makes the difference observable on
+// concrete databases. (Deciding the restricted problems for all databases
+// is the paper's open problem and is not attempted.)
+func ExploreRestrictedSequences(db *Database, rules *RuleSet, opt ExploreOptions) (*ExploreResult, error) {
+	res, err := chase.ExploreRestrictedTermination(db.atoms, rules.rs, chase.ExploreOptions{
+		MaxStates: opt.MaxStates,
+		MaxFacts:  opt.MaxFacts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ExploreResult{
+		Found:          res.Found,
+		Exhausted:      res.Exhausted,
+		StatesExplored: res.StatesExplored,
+		Trace:          res.Trace,
+		FinalFacts:     res.FinalFacts,
+	}, nil
+}
+
+// EntailmentInstance is a propositional-atom-entailment question: does
+// DB ∪ Rules entail Goal? Goal must be a ground atom in the input syntax,
+// e.g. "reach(c)".
+type EntailmentInstance struct {
+	Rules *RuleSet
+	DB    *Database
+	Goal  string
+}
+
+// LoopEntailment applies the paper's looping operator: it returns a rule
+// set whose (semi-)oblivious chase termination is the complement of the
+// entailment answer (provided each generation of the source rules
+// saturates — e.g. Datalog rules; see internal/looping). The returned set
+// stays in the syntactic class of the input, so the exact deciders apply.
+func LoopEntailment(inst EntailmentInstance) (*RuleSet, error) {
+	goalFacts, err := parse.ParseFacts(inst.Goal + ".")
+	if err != nil {
+		return nil, fmt.Errorf("chaseterm: bad goal: %w", err)
+	}
+	if len(goalFacts) != 1 {
+		return nil, fmt.Errorf("chaseterm: goal must be a single ground atom")
+	}
+	looped, err := looping.Loop(looping.Instance{
+		Rules: inst.Rules.rs,
+		DB:    inst.DB.atoms,
+		Goal:  goalFacts[0],
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &RuleSet{rs: looped}, nil
+}
+
+// Entails answers the entailment question directly by saturation
+// (semi-oblivious chase); exact whenever the chase of DB under Rules
+// terminates, which is always the case for Datalog rules.
+func Entails(inst EntailmentInstance) (bool, error) {
+	goalFacts, err := parse.ParseFacts(inst.Goal + ".")
+	if err != nil {
+		return false, fmt.Errorf("chaseterm: bad goal: %w", err)
+	}
+	if len(goalFacts) != 1 {
+		return false, fmt.Errorf("chaseterm: goal must be a single ground atom")
+	}
+	return looping.Entailed(looping.Instance{
+		Rules: inst.Rules.rs,
+		DB:    inst.DB.atoms,
+		Goal:  goalFacts[0],
+	}, chase.Options{})
+}

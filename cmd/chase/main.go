@@ -1,0 +1,86 @@
+// Command chase runs a chase variant over a database and a rule set.
+//
+// Usage:
+//
+//	chase [-variant o|so|r] [-max-triggers N] [-max-facts N] [-print] rules.dl db.dl
+//
+// Files use the Datalog± syntax of the library: `body -> head.` rules with
+// upper-case variables, and ground facts `p(a,b).`. The tool prints run
+// statistics and, with -print, the final instance.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chaseterm"
+)
+
+func main() {
+	variant := flag.String("variant", "so", "chase variant: o|so|r (oblivious, semi-oblivious, restricted)")
+	maxTriggers := flag.Int("max-triggers", 100000, "trigger budget (0 = default)")
+	maxFacts := flag.Int("max-facts", 100000, "fact budget (0 = default)")
+	printFacts := flag.Bool("print", false, "print the final instance")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: chase [flags] rules.dl db.dl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(*variant, flag.Arg(0), flag.Arg(1), *maxTriggers, *maxFacts, *printFacts); err != nil {
+		fmt.Fprintln(os.Stderr, "chase:", err)
+		os.Exit(1)
+	}
+}
+
+func run(variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, printFacts bool) error {
+	v, err := chaseterm.ParseVariant(variantName)
+	if err != nil {
+		return err
+	}
+	rulesText, err := os.ReadFile(rulesPath)
+	if err != nil {
+		return err
+	}
+	rules, err := chaseterm.ParseRules(string(rulesText))
+	if err != nil {
+		return err
+	}
+	dbText, err := os.ReadFile(dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := chaseterm.ParseDatabase(string(dbText))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rules: %d (%s), database: %d facts, variant: %s\n",
+		rules.NumRules(), rules.Classify(), db.Size(), v)
+	res, err := chaseterm.RunChase(db, rules, v, chaseterm.ChaseOptions{
+		MaxTriggers: maxTriggers,
+		MaxFacts:    maxFacts,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("outcome: %s\n", res.Outcome)
+	s := res.Stats
+	fmt.Printf("facts: %d initial + %d derived\n", s.InitialFacts, s.FactsAdded)
+	fmt.Printf("triggers: %d applied, %d no-op, %d already satisfied\n",
+		s.TriggersApplied, s.TriggersNoop, s.TriggersSatisfied)
+	fmt.Printf("max invented-term depth: %d\n", s.MaxTermDepth)
+	if res.Outcome != chaseterm.Terminated {
+		fmt.Println("note: budget hit — the run may or may not be terminating;" +
+			" use termcheck for an exact decision")
+	}
+	if printFacts {
+		for _, f := range res.Facts() {
+			fmt.Println(f + ".")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick smoke-runs every experiment at CI scale and
+// checks the output contains its table header.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment suite")
+	}
+	for _, e := range experiments {
+		e := e
+		t.Run(e.id, func(t *testing.T) {
+			var sb strings.Builder
+			if err := e.run(&sb, true); err != nil {
+				t.Fatalf("%s: %v", e.id, err)
+			}
+			if !strings.Contains(sb.String(), "|") {
+				t.Errorf("%s produced no table:\n%s", e.id, sb.String())
+			}
+		})
+	}
+}
+
+// TestExperimentIDsUnique guards the registry.
+func TestExperimentIDsUnique(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range experiments {
+		if seen[e.id] {
+			t.Errorf("duplicate id %s", e.id)
+		}
+		seen[e.id] = true
+		if e.title == "" || e.run == nil {
+			t.Errorf("%s: incomplete registration", e.id)
+		}
+	}
+	if len(experiments) != 14 {
+		t.Errorf("expected 14 experiments, have %d", len(experiments))
+	}
+}
+
+var _ io.Writer = (*strings.Builder)(nil)

@@ -1,0 +1,188 @@
+// Command termcheck decides all-instance chase termination for a rule set
+// — the decision problem of "Chase Termination for Guarded Existential
+// Rules" (Calautti, Gottlob, Pieris; PODS 2015).
+//
+// Usage:
+//
+//	termcheck [-variant o|so|r|all] rules.dl
+//
+// For linear rule sets the decision is by critical-weak/rich acyclicity
+// (exact, Theorems 1–3); for guarded sets by the chase-forest procedure
+// (exact, Theorem 4); outside the guarded class the problem is undecidable
+// and the tool reports sound partial answers.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"chaseterm"
+)
+
+func main() {
+	variant := flag.String("variant", "all", "chase variant: o|so|r|all")
+	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
+	dbPath := flag.String("db", "", "decide termination on this database only (fixed-database mode)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: termcheck [flags] rules.dl\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	var err error
+	switch {
+	case *dbPath != "":
+		err = runFixedDB(*variant, flag.Arg(0), *dbPath)
+	case *jsonOut:
+		err = runJSON(*variant, flag.Arg(0))
+	default:
+		err = run(*variant, flag.Arg(0))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "termcheck:", err)
+		os.Exit(1)
+	}
+}
+
+// runFixedDB decides termination of the chase of one specific database.
+func runFixedDB(variantName, rulesPath, dbPath string) error {
+	rules, variants, err := load(variantName, rulesPath)
+	if err != nil {
+		return err
+	}
+	text, err := os.ReadFile(dbPath)
+	if err != nil {
+		return err
+	}
+	db, err := chaseterm.ParseDatabase(string(text))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rules: %d (%s); database: %d facts — fixed-database decision\n",
+		rules.NumRules(), rules.Classify(), db.Size())
+	for _, v := range variants {
+		verdict, err := chaseterm.DecideTerminationOnDatabase(db, rules, v)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nchase of this database (%s): %s\n", v, verdict.Terminates)
+		fmt.Printf("  method: %s\n", verdict.Method)
+		if verdict.Witness != "" {
+			fmt.Printf("  witness: %s\n", verdict.Witness)
+		}
+	}
+	return nil
+}
+
+// jsonReport is the machine-readable output of -json.
+type jsonReport struct {
+	Rules          int                    `json:"rules"`
+	Class          string                 `json:"class"`
+	MaxArity       int                    `json:"maxArity"`
+	RichlyAcyclic  bool                   `json:"richlyAcyclic"`
+	WeaklyAcyclic  bool                   `json:"weaklyAcyclic"`
+	JointlyAcyclic bool                   `json:"jointlyAcyclic"`
+	Verdicts       map[string]jsonVerdict `json:"verdicts"`
+}
+
+type jsonVerdict struct {
+	Terminates  string `json:"terminates"`
+	Method      string `json:"method"`
+	Witness     string `json:"witness,omitempty"`
+	SearchSpace int    `json:"searchSpace,omitempty"`
+}
+
+func runJSON(variantName, rulesPath string) error {
+	rules, variants, err := load(variantName, rulesPath)
+	if err != nil {
+		return err
+	}
+	acyc := chaseterm.CheckAcyclicity(rules)
+	rep := jsonReport{
+		Rules:          rules.NumRules(),
+		Class:          rules.Classify().String(),
+		MaxArity:       rules.MaxArity(),
+		RichlyAcyclic:  acyc.RichlyAcyclic,
+		WeaklyAcyclic:  acyc.WeaklyAcyclic,
+		JointlyAcyclic: acyc.JointlyAcyclic,
+		Verdicts:       map[string]jsonVerdict{},
+	}
+	for _, v := range variants {
+		verdict, err := chaseterm.DecideTermination(rules, v)
+		if err != nil {
+			return err
+		}
+		rep.Verdicts[shortName(v)] = jsonVerdict{
+			Terminates:  verdict.Terminates.String(),
+			Method:      verdict.Method,
+			Witness:     verdict.Witness,
+			SearchSpace: verdict.SearchSpace,
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// load parses the rule file and resolves the variant selection.
+func load(variantName, rulesPath string) (*chaseterm.RuleSet, []chaseterm.Variant, error) {
+	text, err := os.ReadFile(rulesPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	rules, err := chaseterm.ParseRules(string(text))
+	if err != nil {
+		return nil, nil, err
+	}
+	if variantName == "all" {
+		return rules, []chaseterm.Variant{chaseterm.Oblivious, chaseterm.SemiOblivious, chaseterm.Restricted}, nil
+	}
+	v, err := chaseterm.ParseVariant(variantName)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rules, []chaseterm.Variant{v}, nil
+}
+
+func run(variantName, rulesPath string) error {
+	rules, variants, err := load(variantName, rulesPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rules: %d, class: %s, max arity: %d\n",
+		rules.NumRules(), rules.Classify(), rules.MaxArity())
+	rep := chaseterm.CheckAcyclicity(rules)
+	fmt.Printf("positional criteria: rich-acyclic=%v weak-acyclic=%v jointly-acyclic=%v\n",
+		rep.RichlyAcyclic, rep.WeaklyAcyclic, rep.JointlyAcyclic)
+	for _, v := range variants {
+		verdict, err := chaseterm.DecideTermination(rules, v)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nCT^%s: %s\n", shortName(v), verdict.Terminates)
+		fmt.Printf("  method: %s\n", verdict.Method)
+		if verdict.SearchSpace > 0 {
+			fmt.Printf("  search space: %d abstract states\n", verdict.SearchSpace)
+		}
+		if verdict.Witness != "" {
+			fmt.Printf("  witness: %s\n", verdict.Witness)
+		}
+	}
+	return nil
+}
+
+func shortName(v chaseterm.Variant) string {
+	switch v {
+	case chaseterm.Oblivious:
+		return "o"
+	case chaseterm.SemiOblivious:
+		return "so"
+	default:
+		return "restricted"
+	}
+}

@@ -1,0 +1,131 @@
+package chaseterm_test
+
+import (
+	"fmt"
+
+	"chaseterm"
+)
+
+// The paper's Example 1: deciding, for every database at once, that the
+// chase cannot terminate.
+func ExampleDecideTermination() {
+	rules := chaseterm.MustParseRules(`person(X) -> hasFather(X,Y), person(Y).`)
+	v, _ := chaseterm.DecideTermination(rules, chaseterm.SemiOblivious)
+	fmt.Println(v.Terminates)
+	fmt.Println(v.Method)
+	// Output:
+	// non-terminating
+	// weak-acyclicity(SL)
+}
+
+// The oblivious and semi-oblivious chase can disagree: dropping the
+// frontier variable Y makes every new atom a new oblivious trigger while
+// the semi-oblivious chase fires once per X.
+func ExampleDecideTermination_variantsDiffer() {
+	rules := chaseterm.MustParseRules(`p(X,Y) -> p(X,Z).`)
+	o, _ := chaseterm.DecideTermination(rules, chaseterm.Oblivious)
+	so, _ := chaseterm.DecideTermination(rules, chaseterm.SemiOblivious)
+	fmt.Println("oblivious:     ", o.Terminates)
+	fmt.Println("semi-oblivious:", so.Terminates)
+	// Output:
+	// oblivious:      non-terminating
+	// semi-oblivious: terminating
+}
+
+// Termination on one concrete database can hold even when all-instance
+// termination fails: a database that never feeds the dangerous rule is
+// inert.
+func ExampleDecideTerminationOnDatabase() {
+	rules := chaseterm.MustParseRules(`p(X,Y) -> p(Y,Z).`)
+	db := chaseterm.MustParseDatabase(`q(a).`) // no p-facts
+	v, _ := chaseterm.DecideTerminationOnDatabase(db, rules, chaseterm.SemiOblivious)
+	fmt.Println(v.Terminates)
+	// Output:
+	// terminating
+}
+
+// Running the restricted chase to saturation and asking a certain-answer
+// query over the universal model.
+func ExampleRunChase() {
+	rules := chaseterm.MustParseRules(`
+advises(X,Y) -> professor(X).
+professor(X) -> teaches(X,C).
+`)
+	db := chaseterm.MustParseDatabase(`advises(turing, ada). teaches(church, logic101).`)
+	res, _ := chaseterm.RunChase(db, rules, chaseterm.Restricted, chaseterm.ChaseOptions{})
+	fmt.Println(res.Outcome)
+
+	profs, _ := res.Query(`professor(P)`, "P")
+	fmt.Println(profs)
+
+	// turing teaches only an anonymous course, so (P,C) certain answers
+	// name church alone.
+	pairs, _ := res.Query(`teaches(P,C)`, "P", "C")
+	fmt.Println(pairs)
+	// Output:
+	// terminated
+	// [[turing]]
+	// [[church logic101]]
+}
+
+// The looping operator turns an entailment question into a termination
+// question: the transformed rules diverge exactly when the goal is
+// entailed.
+func ExampleLoopEntailment() {
+	inst := chaseterm.EntailmentInstance{
+		Rules: chaseterm.MustParseRules(`edge(X,Y), reach(X) -> reach(Y).`),
+		DB:    chaseterm.MustParseDatabase(`edge(a,b). reach(a).`),
+		Goal:  "reach(b)",
+	}
+	looped, _ := chaseterm.LoopEntailment(inst)
+	v, _ := chaseterm.DecideTermination(looped, chaseterm.SemiOblivious)
+	fmt.Println("entailed:", v.Terminates == chaseterm.No)
+	// Output:
+	// entailed: true
+}
+
+// Classifying rule sets into the paper's classes.
+func ExampleRuleSet_Classify() {
+	for _, src := range []string{
+		`p(X,Y) -> q(Y,Z).`,
+		`p(X,X) -> q(X).`,
+		`g(X,Y), s(Y) -> t(X).`,
+		`a(X), b(Y) -> c(X,Y).`,
+	} {
+		rules := chaseterm.MustParseRules(src)
+		fmt.Println(rules.Classify())
+	}
+	// Output:
+	// simple-linear
+	// linear
+	// guarded
+	// general
+}
+
+// The positional acyclicity ladder: each criterion recognizes more
+// terminating sets than the previous one (and the exact deciders all of
+// them).
+func ExampleCheckAcyclicity() {
+	rules := chaseterm.MustParseRules("p(X) -> q(X,Y).\nq(X,Y), q(Y,X) -> p(Y).")
+	rep := chaseterm.CheckAcyclicity(rules)
+	fmt.Println("weakly acyclic: ", rep.WeaklyAcyclic)
+	fmt.Println("jointly acyclic:", rep.JointlyAcyclic)
+	// Output:
+	// weakly acyclic:  false
+	// jointly acyclic: true
+}
+
+// Searching the restricted-chase sequence space: some sequence terminates
+// although the fair FIFO run diverges (the ∀/∃-sequence gap of the paper's
+// Section 2).
+func ExampleExploreRestrictedSequences() {
+	rules := chaseterm.MustParseRules(`r(X,Y) -> r(Y,Z).
+r(X,Y) -> r(Y,X).`)
+	db := chaseterm.MustParseDatabase(`r(a,b).`)
+	res, _ := chaseterm.ExploreRestrictedSequences(db, rules, chaseterm.ExploreOptions{})
+	fmt.Println("terminating sequence found:", res.Found)
+	fmt.Println("apply rule:", res.Trace)
+	// Output:
+	// terminating sequence found: true
+	// apply rule: [1]
+}

@@ -1,0 +1,91 @@
+// Data exchange: computing a universal solution with the chase.
+//
+// The chase's original home (Fagin, Kolaitis, Miller, Popa — "Data
+// exchange: semantics and query answering") is materializing a target
+// instance from a source instance under schema mappings. This example
+// defines a source-to-target mapping, certifies that the chase terminates
+// (here the rules are simple-linear, so the decision is exact — for
+// general mappings the weak-acyclicity fallback kicks in), and computes a
+// universal solution whose labelled nulls stand for the invented employee
+// and department identifiers.
+//
+// Run with:  go run ./examples/dataexchange
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chaseterm"
+)
+
+const mapping = `
+% Source: emp(name, deptName), dept(deptName, mgrName)
+% Target: works(eid, did), empName(eid, name), deptName(did, dn), mgr(did, eid)
+
+emp(N, DN)  -> works(E, D), empName(E, N), deptName(D, DN).
+dept(DN, MN) -> deptName(D, DN), mgr(D, M), empName(M, MN).
+mgr(D, M)   -> works(M, D).
+`
+
+const source = `
+emp(alice, toys).
+emp(bob, books).
+emp(carol, toys).    % carol also manages toys: her row is foldable
+dept(toys, carol).
+dept(books, dan).
+`
+
+func main() {
+	rules, err := chaseterm.ParseRules(mapping)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("mapping: %d st-tgds, class %s\n", rules.NumRules(), rules.Classify())
+
+	verdict, err := chaseterm.DecideTermination(rules, chaseterm.Restricted)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("termination certificate: %s (%s)\n\n", verdict.Terminates, verdict.Method)
+	if verdict.Terminates != chaseterm.Yes {
+		log.Fatal("mapping not certified terminating")
+	}
+
+	db, err := chaseterm.ParseDatabase(source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := chaseterm.RunChase(db, rules, chaseterm.Restricted, chaseterm.ChaseOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("universal solution (%s; %d source + %d target facts):\n",
+		res.Outcome, res.Stats.InitialFacts, res.Stats.FactsAdded)
+	for _, f := range res.Facts() {
+		fmt.Println("  " + f)
+	}
+	fmt.Println("\nLabelled nulls (z1, z2, …) are the invented ids; any other solution")
+	fmt.Println("of the exchange is a homomorphic image of this one (universality).")
+
+	// The core: the minimal universal solution (redundant null facts
+	// folded away).
+	coreFacts, removed := res.CoreFacts()
+	fmt.Printf("\ncore universal solution (%d redundant facts folded):\n", removed)
+	for _, f := range coreFacts {
+		fmt.Println("  " + f)
+	}
+
+	// Contrast the engines: the oblivious chase does redundant work that
+	// the semi-oblivious one skips — the paper's Section 2 distinction.
+	fmt.Println("\nengine comparison on the same input:")
+	for _, v := range []chaseterm.Variant{chaseterm.Oblivious, chaseterm.SemiOblivious, chaseterm.Restricted} {
+		db, _ := chaseterm.ParseDatabase(source)
+		r, err := chaseterm.RunChase(db, rules, v, chaseterm.ChaseOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-15s triggers=%d facts=%d noop=%d satisfied-skips=%d\n",
+			v, r.Stats.TriggersApplied, r.Stats.FactsAdded, r.Stats.TriggersNoop, r.Stats.TriggersSatisfied)
+	}
+}

@@ -1,0 +1,64 @@
+// The looping operator live: entailment as the complement of termination.
+//
+// The paper's lower bounds all flow through one device — the looping
+// operator, "a generic reduction from propositional atom entailment to the
+// complement of chase termination". This example takes a graph
+// reachability question (guarded Datalog entailment), applies the
+// operator, and lets the exact guarded decider of Theorem 4 answer the
+// entailment question by deciding termination of the transformed rules.
+//
+// Run with:  go run ./examples/looping
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"chaseterm"
+)
+
+func main() {
+	rules := chaseterm.MustParseRules(`
+% guarded Datalog: reachability along edges
+edge(X,Y), reach(X) -> reach(Y).
+`)
+	db := chaseterm.MustParseDatabase(`
+edge(a,b). edge(b,c). edge(c,d).
+edge(x,y).            % a separate component
+reach(a).
+`)
+
+	for _, goal := range []string{"reach(d)", "reach(y)"} {
+		inst := chaseterm.EntailmentInstance{Rules: rules, DB: db, Goal: goal}
+
+		// Ground truth by direct saturation.
+		truth, err := chaseterm.Entails(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The reduction: loop the instance, then DECIDE TERMINATION.
+		looped, err := chaseterm.LoopEntailment(inst)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict, err := chaseterm.DecideTermination(looped, chaseterm.SemiOblivious)
+		if err != nil {
+			log.Fatal(err)
+		}
+		derived := verdict.Terminates == chaseterm.No // non-termination ⟺ entailed
+
+		fmt.Printf("goal %s:\n", goal)
+		fmt.Printf("  direct entailment:            %v\n", truth)
+		fmt.Printf("  looped rule set:              %d rules, class %s\n", looped.NumRules(), looped.Classify())
+		fmt.Printf("  chase termination of Σ′:      %s (%s)\n", verdict.Terminates, verdict.Method)
+		fmt.Printf("  entailment via the reduction: %v\n", derived)
+		if derived != truth {
+			log.Fatal("REDUCTION BROKEN — the looping operator must make these agree")
+		}
+		fmt.Println("  ✓ reduction agrees with ground truth")
+		fmt.Println()
+	}
+	fmt.Println("This is why deciding chase termination is as hard as entailment —")
+	fmt.Println("the route to the paper's NL/PSPACE/2EXPTIME-hardness results.")
+}

@@ -1,0 +1,174 @@
+// Package acyclicity implements the positional acyclicity criteria that the
+// paper builds its simple-linear characterizations on (Theorem 1):
+//
+//   - Weak acyclicity (Fagin, Kolaitis, Miller, Popa — "Data exchange:
+//     semantics and query answering"): the dependency graph over schema
+//     positions has no cycle through a special edge. For simple linear TGDs
+//     this is exactly CT^so (Theorem 1).
+//
+//   - Rich acyclicity (Hernich, Schweikardt — "CWA-solutions for data
+//     exchange settings with target dependencies"): the same condition on
+//     the extended dependency graph, whose special edges also originate at
+//     positions of non-frontier body variables (the oblivious chase invents
+//     fresh nulls per full homomorphism, so every body position can drive
+//     null creation). For simple linear TGDs this is exactly CT^o
+//     (Theorem 1). RA ⊆ WA.
+//
+// Both are sound sufficient conditions for all TGDs: WA ⇒ CT^so and
+// RA ⇒ CT^o (hence both ⇒ termination of the restricted chase as well).
+// They are complete only for SL; the paper's Theorem 2 refines them into
+// critical-weak/rich acyclicity for linear TGDs, implemented in
+// internal/core.
+package acyclicity
+
+import (
+	"fmt"
+	"strings"
+
+	"chaseterm/internal/graph"
+	"chaseterm/internal/logic"
+)
+
+// Mode selects which dependency graph is built.
+type Mode int
+
+const (
+	// Weak builds the dependency graph of Fagin et al.
+	Weak Mode = iota
+	// Rich builds the extended dependency graph of Hernich–Schweikardt.
+	Rich
+)
+
+func (m Mode) String() string {
+	if m == Weak {
+		return "weak"
+	}
+	return "rich"
+}
+
+// DependencyGraph is the positional graph together with the position table
+// used to interpret node indexes.
+type DependencyGraph struct {
+	G         *graph.Graph
+	Positions []logic.Position
+	posIndex  map[logic.Position]int
+}
+
+// Build constructs the (extended) dependency graph of a rule set.
+//
+// For every TGD σ = φ → ψ and every universally quantified variable x of σ
+// occurring in ψ (frontier variable), and every position π of x in φ:
+//
+//   - a regular edge π → π′ for every position π′ of x in ψ;
+//   - a special edge π ⇒ π′ for every position π′ in ψ holding an
+//     existentially quantified variable.
+//
+// In Rich mode, special edges additionally originate at every body position
+// of every universally quantified variable (frontier or not): the oblivious
+// chase fires one trigger per full homomorphism, so a fresh binding at any
+// body position yields a fresh trigger and hence fresh nulls.
+func Build(rs *logic.RuleSet, mode Mode) *DependencyGraph {
+	dg := &DependencyGraph{posIndex: make(map[logic.Position]int)}
+	for _, pos := range rs.Positions() {
+		dg.posIndex[pos] = len(dg.Positions)
+		dg.Positions = append(dg.Positions, pos)
+	}
+	dg.G = graph.New(len(dg.Positions))
+
+	for _, r := range rs.Rules {
+		frontier := make(map[logic.Variable]bool)
+		for _, v := range r.Frontier() {
+			frontier[v] = true
+		}
+		existential := make(map[logic.Variable]bool)
+		for _, z := range r.Existentials() {
+			existential[z] = true
+		}
+		// Collect positions per variable.
+		bodyPos := make(map[logic.Variable][]int)
+		for _, a := range r.Body {
+			p := a.Predicate()
+			for i, t := range a.Args {
+				if v, ok := t.(logic.Variable); ok {
+					n := dg.posIndex[logic.Position{Pred: p, Index: i}]
+					bodyPos[v] = append(bodyPos[v], n)
+				}
+			}
+		}
+		headPosOfVar := make(map[logic.Variable][]int)
+		var exPos []int
+		for _, a := range r.Head {
+			p := a.Predicate()
+			for i, t := range a.Args {
+				v, ok := t.(logic.Variable)
+				if !ok {
+					continue
+				}
+				n := dg.posIndex[logic.Position{Pred: p, Index: i}]
+				if existential[v] {
+					exPos = append(exPos, n)
+				} else {
+					headPosOfVar[v] = append(headPosOfVar[v], n)
+				}
+			}
+		}
+		for v, sources := range bodyPos {
+			for _, src := range sources {
+				if frontier[v] {
+					for _, dst := range headPosOfVar[v] {
+						dg.G.AddEdgeDedup(src, dst, false)
+					}
+					for _, dst := range exPos {
+						dg.G.AddEdgeDedup(src, dst, true)
+					}
+				} else if mode == Rich {
+					for _, dst := range exPos {
+						dg.G.AddEdgeDedup(src, dst, true)
+					}
+				}
+			}
+		}
+	}
+	return dg
+}
+
+// Witness describes a dangerous cycle: a cycle through a special edge of
+// the (extended) dependency graph, reported as the sequence of positions.
+type Witness struct {
+	Mode      Mode
+	Positions []logic.Position
+}
+
+func (w *Witness) String() string {
+	parts := make([]string, len(w.Positions))
+	for i, p := range w.Positions {
+		parts[i] = p.String()
+	}
+	return fmt.Sprintf("dangerous cycle (%s): %s", w.Mode, strings.Join(parts, " -> "))
+}
+
+// IsWeaklyAcyclic reports whether the rule set is weakly acyclic, together
+// with a dangerous-cycle witness when it is not.
+func IsWeaklyAcyclic(rs *logic.RuleSet) (bool, *Witness) {
+	return check(rs, Weak)
+}
+
+// IsRichlyAcyclic reports whether the rule set is richly acyclic, together
+// with a dangerous-cycle witness when it is not.
+func IsRichlyAcyclic(rs *logic.RuleSet) (bool, *Witness) {
+	return check(rs, Rich)
+}
+
+func check(rs *logic.RuleSet, mode Mode) (bool, *Witness) {
+	dg := Build(rs, mode)
+	e := dg.G.SpecialCycleEdge()
+	if e == nil {
+		return true, nil
+	}
+	cycle := dg.G.CycleThrough(*e)
+	w := &Witness{Mode: mode}
+	for _, n := range cycle {
+		w.Positions = append(w.Positions, dg.Positions[n])
+	}
+	return false, w
+}

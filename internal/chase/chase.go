@@ -1,0 +1,667 @@
+// Package chase implements the TGD chase procedure in its three standard
+// variants — oblivious, semi-oblivious and restricted — over the instance
+// substrate, exactly as defined in Section 2 of "Chase Termination for
+// Guarded Existential Rules" (Calautti, Gottlob, Pieris, PODS 2015).
+//
+// A trigger for a set Σ on an instance I is a pair (σ, h) where σ = φ → ψ
+// is in Σ and h is a homomorphism mapping φ into I. Applying (σ, h) adds
+// h′(ψ) where h′ ⊇ h maps each existential variable of σ to a fresh null.
+// The variants differ in when two triggers are considered "the same" (and
+// hence fire only once) and in whether satisfied triggers fire at all:
+//
+//   - Oblivious: triggers are identified by the full homomorphism h; every
+//     distinct (σ, h) is applied exactly once.
+//   - Semi-oblivious: homomorphisms agreeing on the frontier of σ (the
+//     universally quantified variables occurring in the head) are
+//     indistinguishable. We implement this as the Skolem chase: existential
+//     variables are mapped to interned Skolem terms f_{σ,z}(h(frontier)),
+//     so indistinguishable triggers literally produce identical facts.
+//   - Restricted: a trigger is applied only if it is active, i.e. h cannot
+//     be extended to a homomorphism h′ mapping the head into the current
+//     instance.
+//
+// All engines schedule triggers in FIFO order, which realizes the fairness
+// condition of the paper's definition of (possibly infinite) chase
+// sequences: every trigger that arises is eventually considered. Budgets
+// on applied triggers, facts, and invented-term depth make the engines
+// usable as bounded oracles for the termination deciders in internal/core.
+package chase
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"chaseterm/internal/instance"
+	"chaseterm/internal/logic"
+)
+
+// Variant selects the chase flavour.
+type Variant int
+
+const (
+	// Oblivious is the naive chase: one application per distinct
+	// homomorphism.
+	Oblivious Variant = iota
+	// SemiOblivious is the Skolem chase: one application per distinct
+	// frontier restriction.
+	SemiOblivious
+	// Restricted is the standard chase: only triggers whose head is not
+	// already satisfied fire.
+	Restricted
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Oblivious:
+		return "oblivious"
+	case SemiOblivious:
+		return "semi-oblivious"
+	default:
+		return "restricted"
+	}
+}
+
+// ParseVariant maps the strings "o"/"oblivious", "so"/"semi-oblivious",
+// "r"/"restricted" to a Variant.
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToLower(s) {
+	case "o", "oblivious":
+		return Oblivious, nil
+	case "so", "semi-oblivious", "semioblivious", "skolem":
+		return SemiOblivious, nil
+	case "r", "restricted", "standard":
+		return Restricted, nil
+	}
+	return 0, fmt.Errorf("chase: unknown variant %q", s)
+}
+
+// Outcome reports how a run ended.
+type Outcome int
+
+const (
+	// Terminated: no unapplied trigger remains; the result is final.
+	Terminated Outcome = iota
+	// BudgetExceeded: the trigger or fact budget was exhausted first.
+	BudgetExceeded
+	// DepthExceeded: an invented term deeper than Options.MaxDepth was
+	// created; with Skolem semantics this is strong evidence of
+	// non-termination and is reported separately from a plain budget stop.
+	DepthExceeded
+	// CyclicTerm: a Skolem term nesting its own function symbol was
+	// created and Options.StopOnCyclicSkolem was set (the model-faithful
+	// acyclicity test of Grau et al.).
+	CyclicTerm
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Terminated:
+		return "terminated"
+	case BudgetExceeded:
+		return "budget-exceeded"
+	case DepthExceeded:
+		return "depth-exceeded"
+	default:
+		return "cyclic-term"
+	}
+}
+
+// Options bound a chase run. The zero value means "defaults" (generous but
+// finite budgets); explicit zero budgets are replaced by the defaults.
+type Options struct {
+	// MaxTriggers caps the number of applied triggers (default 1e6).
+	MaxTriggers int
+	// MaxFacts caps the total number of facts (default 1e6).
+	MaxFacts int
+	// MaxDepth caps the invented-term depth (default 1<<30, i.e. off).
+	MaxDepth int32
+	// RecordSequence keeps the applied trigger sequence in the result.
+	RecordSequence bool
+	// StopOnCyclicSkolem stops the run with Outcome CyclicTerm as soon as
+	// the semi-oblivious chase invents a Skolem term whose function symbol
+	// occurs transitively inside one of its arguments. This implements the
+	// model-faithful-acyclicity stopping rule: a run that saturates
+	// without such a term proves termination on every instance.
+	StopOnCyclicSkolem bool
+	// Order selects the trigger scheduling policy (default OrderFIFO).
+	Order Order
+}
+
+// Order is a trigger scheduling policy. The paper distinguishes the
+// ∀-sequence and ∃-sequence termination problems: does EVERY fair chase
+// sequence terminate, or does SOME sequence terminate? For the oblivious
+// and semi-oblivious chase the two coincide (every trigger must fire
+// exactly once regardless of order), but for the restricted chase the
+// order decides which triggers are already satisfied when considered — so
+// different policies genuinely explore different sequences. A finite
+// sequence is vacuously fair, so any policy that terminates yields a valid
+// terminating chase sequence (a CT^r_∃ witness); only OrderFIFO guarantees
+// fairness on infinite runs.
+type Order int
+
+const (
+	// OrderFIFO processes triggers first-in first-out — fair on infinite
+	// runs (every discovered trigger is eventually considered).
+	OrderFIFO Order = iota
+	// OrderLIFO processes the most recently discovered trigger first
+	// (depth-first chase). Not fair on infinite runs.
+	OrderLIFO
+	// OrderRulePriority always prefers pending triggers of lower-indexed
+	// rules, FIFO within a rule. Not fair on infinite runs. Useful to
+	// bias the restricted chase toward "repairing" rules before
+	// "inventing" ones.
+	OrderRulePriority
+)
+
+func (o Order) String() string {
+	switch o {
+	case OrderFIFO:
+		return "fifo"
+	case OrderLIFO:
+		return "lifo"
+	default:
+		return "rule-priority"
+	}
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxTriggers == 0 {
+		o.MaxTriggers = 1_000_000
+	}
+	if o.MaxFacts == 0 {
+		o.MaxFacts = 1_000_000
+	}
+	if o.MaxDepth == 0 {
+		o.MaxDepth = 1 << 30
+	}
+	return o
+}
+
+// Stats aggregates run statistics.
+type Stats struct {
+	InitialFacts int
+	FactsAdded   int
+	// TriggersApplied counts trigger applications (restricted: active
+	// triggers actually fired).
+	TriggersApplied int
+	// TriggersNoop counts applications that created no new fact — the
+	// "superfluous" work the semi-oblivious chase is designed to avoid.
+	TriggersNoop int
+	// TriggersSatisfied counts restricted-chase triggers skipped because
+	// their head was already satisfied.
+	TriggersSatisfied int
+	// TriggersEnqueued counts distinct triggers discovered.
+	TriggersEnqueued int
+	MaxTermDepth     int32
+}
+
+// AppliedTrigger records one trigger application (optional, see
+// Options.RecordSequence).
+type AppliedTrigger struct {
+	Rule       int
+	FactsAdded int
+}
+
+// Result of a chase run.
+type Result struct {
+	Variant  Variant
+	Outcome  Outcome
+	Instance *instance.Instance
+	Stats    Stats
+	Sequence []AppliedTrigger
+}
+
+type headSlotKind uint8
+
+const (
+	slotFrontier headSlotKind = iota
+	slotExistential
+	slotConst
+)
+
+type headSlot struct {
+	kind headSlotKind
+	idx  int             // frontier index or existential index
+	term instance.TermID // for consts
+}
+
+type headAtom struct {
+	pred  instance.PredID
+	slots []headSlot
+}
+
+type compiledRule struct {
+	src       *logic.TGD
+	body      *instance.Pattern
+	frontier  []int    // pattern-variable indexes of frontier variables, in frontier order
+	nExist    int      // number of existential variables
+	skolemFns []string // per existential variable
+	head      []headAtom
+	// headPattern is the head compiled as a body-style pattern whose first
+	// len(frontier) variables are the frontier (in the same order),
+	// used for restricted-chase satisfaction checks.
+	headPattern *instance.Pattern
+}
+
+type trigger struct {
+	rule     int
+	frontier []instance.TermID
+	key      string
+}
+
+// Engine runs one chase over one instance. Create with NewEngine, then call
+// Run. The instance is mutated in place.
+type Engine struct {
+	in      *instance.Instance
+	rules   []*compiledRule
+	variant Variant
+	opt     Options
+
+	queue      []trigger // FIFO / LIFO store
+	qhead      int
+	buckets    [][]trigger // per-rule stores for OrderRulePriority
+	bheads     []int
+	pending    int
+	seen       map[string]struct{}
+	stats      Stats
+	seq        []AppliedTrigger
+	byPred     map[instance.PredID][][2]int // pred -> (rule, bodyAtom) pairs
+	scratch    []instance.TermID
+	cyclicSeen bool
+}
+
+// push schedules a trigger according to the configured order.
+func (e *Engine) push(t trigger) {
+	e.pending++
+	if e.opt.Order == OrderRulePriority {
+		e.buckets[t.rule] = append(e.buckets[t.rule], t)
+		return
+	}
+	e.queue = append(e.queue, t)
+}
+
+// pop removes the next trigger according to the configured order.
+func (e *Engine) pop() (trigger, bool) {
+	if e.pending == 0 {
+		return trigger{}, false
+	}
+	e.pending--
+	switch e.opt.Order {
+	case OrderLIFO:
+		t := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		return t, true
+	case OrderRulePriority:
+		for r := range e.buckets {
+			if e.bheads[r] < len(e.buckets[r]) {
+				t := e.buckets[r][e.bheads[r]]
+				e.bheads[r]++
+				return t, true
+			}
+		}
+		panic("chase: pending count out of sync")
+	default:
+		t := e.queue[e.qhead]
+		e.qhead++
+		return t, true
+	}
+}
+
+// fnOccurs reports whether the Skolem function fn occurs in term t
+// (transitively through Skolem arguments).
+func (e *Engine) fnOccurs(fn string, t instance.TermID) bool {
+	tt := e.in.Terms
+	if tt.Kind(t) != instance.KindSkolem {
+		return false
+	}
+	if tt.Name(t) == fn {
+		return true
+	}
+	for _, a := range tt.SkolemArgs(t) {
+		if e.fnOccurs(fn, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// NewEngine compiles the rule set against the instance. The rule set must
+// validate.
+func NewEngine(in *instance.Instance, rs *logic.RuleSet, v Variant, opt Options) (*Engine, error) {
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		in:      in,
+		variant: v,
+		opt:     opt.withDefaults(),
+		seen:    make(map[string]struct{}),
+		byPred:  make(map[instance.PredID][][2]int),
+	}
+	for ri, r := range rs.Rules {
+		cr, err := compileRule(in, ri, r)
+		if err != nil {
+			return nil, err
+		}
+		e.rules = append(e.rules, cr)
+		for ai, pa := range cr.body.Atoms {
+			e.byPred[pa.Pred] = append(e.byPred[pa.Pred], [2]int{ri, ai})
+		}
+	}
+	if e.opt.Order == OrderRulePriority {
+		e.buckets = make([][]trigger, len(e.rules))
+		e.bheads = make([]int, len(e.rules))
+	}
+	return e, nil
+}
+
+func compileRule(in *instance.Instance, ri int, r *logic.TGD) (*compiledRule, error) {
+	body, err := instance.CompileBody(in, r.Body)
+	if err != nil {
+		return nil, err
+	}
+	cr := &compiledRule{src: r, body: body}
+	fr := r.Frontier()
+	for _, v := range fr {
+		cr.frontier = append(cr.frontier, body.VarIndex(v))
+	}
+	ex := r.Existentials()
+	cr.nExist = len(ex)
+	exIdx := make(map[logic.Variable]int, len(ex))
+	for i, z := range ex {
+		exIdx[z] = i
+		cr.skolemFns = append(cr.skolemFns, fmt.Sprintf("f%d_%s", ri, z))
+	}
+	frIdx := make(map[logic.Variable]int, len(fr))
+	for i, v := range fr {
+		frIdx[v] = i
+	}
+	for _, a := range r.Head {
+		ha := headAtom{pred: in.Pred(a.Pred, len(a.Args))}
+		for _, t := range a.Args {
+			switch t := t.(type) {
+			case logic.Variable:
+				if i, ok := frIdx[t]; ok {
+					ha.slots = append(ha.slots, headSlot{kind: slotFrontier, idx: i})
+				} else {
+					ha.slots = append(ha.slots, headSlot{kind: slotExistential, idx: exIdx[t]})
+				}
+			case logic.Constant:
+				ha.slots = append(ha.slots, headSlot{kind: slotConst, term: in.Terms.Const(string(t))})
+			}
+		}
+		cr.head = append(cr.head, ha)
+	}
+	hp, err := compileHeadPattern(in, fr, r.Head)
+	if err != nil {
+		return nil, err
+	}
+	cr.headPattern = hp
+	return cr, nil
+}
+
+// compileHeadPattern compiles head atoms into a pattern whose variables
+// 0..len(frontier)-1 are the frontier variables in order; existential
+// variables follow.
+func compileHeadPattern(in *instance.Instance, frontier []logic.Variable, head []logic.Atom) (*instance.Pattern, error) {
+	p := &instance.Pattern{}
+	varIdx := make(map[logic.Variable]int)
+	for _, v := range frontier {
+		varIdx[v] = p.NumVars
+		p.NumVars++
+		p.VarNames = append(p.VarNames, v)
+	}
+	for _, a := range head {
+		pa := instance.PatternAtom{Pred: in.Pred(a.Pred, len(a.Args))}
+		for _, t := range a.Args {
+			switch t := t.(type) {
+			case logic.Variable:
+				i, ok := varIdx[t]
+				if !ok {
+					i = p.NumVars
+					varIdx[t] = i
+					p.NumVars++
+					p.VarNames = append(p.VarNames, t)
+				}
+				pa.Args = append(pa.Args, instance.Slot{IsVar: true, Var: i})
+			case logic.Constant:
+				pa.Args = append(pa.Args, instance.Slot{Term: in.Terms.Const(string(t))})
+			default:
+				return nil, fmt.Errorf("chase: unsupported head term %v", t)
+			}
+		}
+		p.Atoms = append(p.Atoms, pa)
+	}
+	return p, nil
+}
+
+func triggerKey(rule int, terms []instance.TermID) string {
+	var b strings.Builder
+	b.Grow(4 + 4*len(terms))
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(rule))
+	b.Write(buf[:])
+	for _, t := range terms {
+		binary.LittleEndian.PutUint32(buf[:], uint32(t))
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// offer registers a discovered homomorphism as a trigger, deduplicating by
+// the variant's trigger identity.
+func (e *Engine) offer(rule int, binding []instance.TermID) {
+	cr := e.rules[rule]
+	var key string
+	switch e.variant {
+	case SemiOblivious:
+		fr := e.scratchFrontier(cr, binding)
+		key = triggerKey(rule, fr)
+	default: // Oblivious and Restricted identify triggers by the full h.
+		key = triggerKey(rule, binding)
+	}
+	if _, dup := e.seen[key]; dup {
+		return
+	}
+	e.seen[key] = struct{}{}
+	fr := make([]instance.TermID, len(cr.frontier))
+	for i, vi := range cr.frontier {
+		fr[i] = binding[vi]
+	}
+	e.push(trigger{rule: rule, frontier: fr, key: key})
+	e.stats.TriggersEnqueued++
+}
+
+func (e *Engine) scratchFrontier(cr *compiledRule, binding []instance.TermID) []instance.TermID {
+	e.scratch = e.scratch[:0]
+	for _, vi := range cr.frontier {
+		e.scratch = append(e.scratch, binding[vi])
+	}
+	return e.scratch
+}
+
+// Run executes the chase to termination or budget exhaustion.
+func (e *Engine) Run() (*Result, error) {
+	e.stats.InitialFacts = e.in.Size()
+	// Seed: all homomorphisms on the initial instance.
+	for ri, cr := range e.rules {
+		e.in.FindHoms(cr.body, nil, func(b []instance.TermID) bool {
+			e.offer(ri, b)
+			return true
+		})
+	}
+	outcome := Terminated
+loop:
+	for {
+		if e.stats.TriggersApplied >= e.opt.MaxTriggers || e.in.Size() >= e.opt.MaxFacts {
+			if e.pending > 0 {
+				outcome = BudgetExceeded
+			}
+			break loop
+		}
+		t, ok := e.pop()
+		if !ok {
+			break loop
+		}
+		cr := e.rules[t.rule]
+		if e.variant == Restricted && e.headSatisfied(cr, t.frontier) {
+			e.stats.TriggersSatisfied++
+			continue
+		}
+		added, maxDepth := e.apply(t.rule, cr, t.frontier)
+		e.stats.TriggersApplied++
+		if added == 0 {
+			e.stats.TriggersNoop++
+		}
+		if e.opt.RecordSequence {
+			e.seq = append(e.seq, AppliedTrigger{Rule: t.rule, FactsAdded: added})
+		}
+		if maxDepth > e.stats.MaxTermDepth {
+			e.stats.MaxTermDepth = maxDepth
+		}
+		if maxDepth > e.opt.MaxDepth {
+			outcome = DepthExceeded
+			break loop
+		}
+		if e.cyclicSeen {
+			outcome = CyclicTerm
+			break loop
+		}
+	}
+	return &Result{
+		Variant:  e.variant,
+		Outcome:  outcome,
+		Instance: e.in,
+		Stats:    e.stats,
+		Sequence: e.seq,
+	}, nil
+}
+
+// headSatisfied reports whether the head of cr, with its frontier bound to
+// fr, already has a homomorphism into the instance.
+func (e *Engine) headSatisfied(cr *compiledRule, fr []instance.TermID) bool {
+	return e.in.HasHom(cr.headPattern, fr)
+}
+
+// apply fires a trigger: it invents nulls (oblivious/restricted) or Skolem
+// terms (semi-oblivious) for the existential variables, adds the head
+// facts, and discovers the new triggers they enable.
+func (e *Engine) apply(rule int, cr *compiledRule, fr []instance.TermID) (added int, maxDepth int32) {
+	// Birth depth for fresh nulls: one more than the deepest frontier term.
+	var birth int32
+	for _, t := range fr {
+		if d := e.in.Terms.Depth(t); d > birth {
+			birth = d
+		}
+	}
+	ex := make([]instance.TermID, cr.nExist)
+	for i := range ex {
+		if e.variant == SemiOblivious {
+			ex[i] = e.in.Terms.Skolem(cr.skolemFns[i], fr)
+			if e.opt.StopOnCyclicSkolem && !e.cyclicSeen {
+				for _, a := range fr {
+					if e.fnOccurs(cr.skolemFns[i], a) {
+						e.cyclicSeen = true
+						break
+					}
+				}
+			}
+		} else {
+			ex[i] = e.in.Terms.FreshNull(birth + 1)
+		}
+		if d := e.in.Terms.Depth(ex[i]); d > maxDepth {
+			maxDepth = d
+		}
+	}
+	args := make([]instance.TermID, 0, 8)
+	for _, ha := range cr.head {
+		args = args[:0]
+		for _, s := range ha.slots {
+			switch s.kind {
+			case slotFrontier:
+				args = append(args, fr[s.idx])
+			case slotExistential:
+				args = append(args, ex[s.idx])
+			default:
+				args = append(args, s.term)
+			}
+		}
+		fid, isNew := e.in.Add(ha.pred, args)
+		if isNew {
+			added++
+			e.stats.FactsAdded++
+			e.discover(fid)
+		}
+	}
+	return added, maxDepth
+}
+
+// discover finds the triggers newly enabled by fact fid: for every rule
+// body atom with a matching predicate, homomorphisms that map that atom to
+// fid. The per-variant trigger identity deduplicates homomorphisms found
+// through several anchors.
+func (e *Engine) discover(fid instance.FactID) {
+	pred := e.in.Fact(fid).Pred
+	for _, ra := range e.byPred[pred] {
+		ri, ai := ra[0], ra[1]
+		cr := e.rules[ri]
+		e.in.FindHomsAnchored(cr.body, ai, fid, func(b []instance.TermID) bool {
+			e.offer(ri, b)
+			return true
+		})
+	}
+}
+
+// Run is the package-level convenience: compile and run in one call.
+func Run(in *instance.Instance, rs *logic.RuleSet, v Variant, opt Options) (*Result, error) {
+	e, err := NewEngine(in, rs, v, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// RunFromAtoms runs the chase over a database given as ground atoms.
+func RunFromAtoms(db []logic.Atom, rs *logic.RuleSet, v Variant, opt Options) (*Result, error) {
+	in, err := instance.FromAtoms(db)
+	if err != nil {
+		return nil, err
+	}
+	return Run(in, rs, v, opt)
+}
+
+// IsModel verifies that the instance satisfies every TGD of the rule set:
+// for each homomorphism from a body into the instance there is an extension
+// mapping the head into the instance. It returns a counterexample
+// description, or "" if the instance is a model. Used by tests to certify
+// that terminating chase results are models of the input (property 1 of the
+// chase in the paper's introduction).
+func IsModel(in *instance.Instance, rs *logic.RuleSet) (string, error) {
+	for ri, r := range rs.Rules {
+		cr, err := compileRule(in, ri, r)
+		if err != nil {
+			return "", err
+		}
+		violation := ""
+		in.FindHoms(cr.body, nil, func(b []instance.TermID) bool {
+			fr := make([]instance.TermID, len(cr.frontier))
+			for i, vi := range cr.frontier {
+				fr[i] = b[vi]
+			}
+			if !in.HasHom(cr.headPattern, fr) {
+				parts := make([]string, len(b))
+				for i, t := range b {
+					parts[i] = cr.body.VarNames[i].String() + "=" + in.Terms.String(t)
+				}
+				violation = fmt.Sprintf("rule %d (%s) violated under %s", ri, r, strings.Join(parts, ","))
+				return false
+			}
+			return true
+		})
+		if violation != "" {
+			return violation, nil
+		}
+	}
+	return "", nil
+}

@@ -1,0 +1,103 @@
+package chase
+
+import (
+	"testing"
+
+	"chaseterm/internal/parse"
+)
+
+// TestExploreFindsRepairFirstSequence: the ∀/∃ separation example. FIFO
+// diverges (see order_test.go), but a terminating restricted sequence
+// exists — the explorer must find it.
+func TestExploreFindsRepairFirstSequence(t *testing.T) {
+	rs := parse.MustParseRules(`r(X,Y) -> r(Y,Z).
+r(X,Y) -> r(Y,X).`)
+	db := parse.MustParseFacts(`r(a,b).`)
+	res, err := ExploreRestrictedTermination(db, rs, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatalf("no terminating sequence found (states=%d exhausted=%v)", res.StatesExplored, res.Exhausted)
+	}
+	// The short terminating sequence applies the symmetric rule (index 1)
+	// first; after r(b,a) exists every other trigger is satisfied.
+	if len(res.Trace) == 0 || res.Trace[0] != 1 {
+		t.Errorf("trace: %v (expected to start with rule 1)", res.Trace)
+	}
+	if len(res.FinalFacts) != 2 {
+		t.Errorf("final instance: %v", res.FinalFacts)
+	}
+}
+
+// TestExploreTerminatingInput: on a set where every sequence terminates,
+// the explorer trivially finds the empty continuation.
+func TestExploreTerminatingInput(t *testing.T) {
+	rs := parse.MustParseRules(`person(X) -> hasFather(X,Y).`)
+	db := parse.MustParseFacts(`person(bob).`)
+	res, err := ExploreRestrictedTermination(db, rs, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Trace) != 1 {
+		t.Errorf("found=%v trace=%v", res.Found, res.Trace)
+	}
+	// Already-satisfied database: zero-length sequence.
+	db2 := parse.MustParseFacts(`person(bob). hasFather(bob, carl).`)
+	res, err = ExploreRestrictedTermination(db2, rs, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || len(res.Trace) != 0 {
+		t.Errorf("found=%v trace=%v", res.Found, res.Trace)
+	}
+}
+
+// TestExploreAllDiverging: Example 1 has no terminating restricted
+// sequence from person(bob); with a small fact bound the explorer reports
+// not-found (necessarily non-exhaustive: every branch is pruned at the
+// bound, which is precisely the evidence of unbounded growth).
+func TestExploreAllDiverging(t *testing.T) {
+	rs := parse.MustParseRules(`person(X) -> hasFather(X,Y), person(Y).`)
+	db := parse.MustParseFacts(`person(bob).`)
+	res, err := ExploreRestrictedTermination(db, rs, ExploreOptions{MaxFacts: 21, MaxStates: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found {
+		t.Errorf("found a terminating sequence for Example 1: %v", res.Trace)
+	}
+	if res.Exhausted {
+		t.Error("exploration claimed exhaustion despite pruning")
+	}
+}
+
+// TestExploreStateDedup: symmetric rules generate isomorphic states that
+// must be merged (search stays small).
+func TestExploreStateDedup(t *testing.T) {
+	rs := parse.MustParseRules(`p(X) -> q(X,Y).
+p(X) -> q(X,W).`)
+	db := parse.MustParseFacts(`p(a).`)
+	res, err := ExploreRestrictedTermination(db, rs, ExploreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("expected termination")
+	}
+	if res.StatesExplored > 4 {
+		t.Errorf("isomorphic states not merged: %d states", res.StatesExplored)
+	}
+}
+
+func TestExploreBudgets(t *testing.T) {
+	rs := parse.MustParseRules(`p(X,Y) -> p(Y,Z).`)
+	db := parse.MustParseFacts(`p(a,b).`)
+	res, err := ExploreRestrictedTermination(db, rs, ExploreOptions{MaxStates: 5, MaxFacts: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Found || res.Exhausted {
+		t.Errorf("found=%v exhausted=%v", res.Found, res.Exhausted)
+	}
+}

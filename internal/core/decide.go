@@ -1,0 +1,162 @@
+package core
+
+import (
+	"fmt"
+
+	"chaseterm/internal/acyclicity"
+	"chaseterm/internal/chase"
+	"chaseterm/internal/critical"
+	"chaseterm/internal/logic"
+)
+
+// DecideOptions extends Options with budgets for the bounded-oracle
+// fallback used outside the guarded class.
+type DecideOptions struct {
+	Options
+	// OracleMaxTriggers / OracleMaxFacts bound the critical-instance chase
+	// used as a semi-decision fallback for general TGDs (defaults 200k).
+	OracleMaxTriggers int
+	OracleMaxFacts    int
+}
+
+func (o DecideOptions) withDefaults() DecideOptions {
+	o.Options = o.Options.withDefaults()
+	if o.OracleMaxTriggers == 0 {
+		o.OracleMaxTriggers = 200_000
+	}
+	if o.OracleMaxFacts == 0 {
+		o.OracleMaxFacts = 200_000
+	}
+	return o
+}
+
+// Decide is the front door of the termination analysis: it classifies the
+// rule set syntactically and dispatches to the strongest procedure
+// available.
+//
+//   - simple-linear and linear sets: DecideLinear — exact (Theorems 1–3);
+//   - guarded sets: DecideGuarded — exact (Theorem 4); the oblivious
+//     variant is decided on aux(Σ) (package critical), whose semi-oblivious
+//     chase applies exactly the oblivious triggers of Σ;
+//   - general sets: the problem is undecidable (Gogacz–Marcinkowski), so
+//     Decide falls back to sound partial answers: weak/rich acyclicity
+//     implies termination, and a critical-instance chase that saturates
+//     within budget proves termination (Marnette's lemma makes the critical
+//     instance complete for non-termination too, but an infinite run can
+//     only be cut off, so the negative direction stays Unknown).
+func Decide(rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, error) {
+	opt = opt.withDefaults()
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	class := rs.Classify()
+	switch class {
+	case logic.ClassSimpleLinear:
+		// Theorem 1 fast path; the positional graphs ignore constants, so
+		// rule sets with constants take the shape decider instead.
+		if len(rs.Constants()) == 0 {
+			return DecideSimpleLinear(rs, v)
+		}
+		res, err := DecideLinear(rs, v, opt.Options)
+		if err != nil {
+			return nil, err
+		}
+		return res.Verdict, nil
+	case logic.ClassLinear:
+		res, err := DecideLinear(rs, v, opt.Options)
+		if err != nil {
+			return nil, err
+		}
+		return res.Verdict, nil
+	case logic.ClassGuarded:
+		target := rs
+		method := "guarded-forest"
+		if v == VariantOblivious {
+			target = critical.AuxTransform(rs)
+			method = "guarded-forest(aux)"
+		}
+		res, err := DecideGuarded(target, opt.Options)
+		if err != nil {
+			return nil, err
+		}
+		res.Verdict.Variant = v
+		res.Verdict.Method = method
+		return res.Verdict, nil
+	default:
+		return decideGeneral(rs, v, opt)
+	}
+}
+
+// DecideSimpleLinear decides CT^? for simple-linear rule sets by the
+// positional criteria directly: Theorem 1 states CT^so ∩ SL = WA ∩ SL and
+// CT^o ∩ SL = RA ∩ SL, so no shape construction is needed — this is the
+// literal NL procedure behind Theorem 3(1). It returns an error if some
+// rule is not simple-linear (constants in rules are also rejected: the
+// positional graphs ignore them, and only the constant-free setting of the
+// theorem guarantees exactness — DecideLinear handles constants).
+func DecideSimpleLinear(rs *logic.RuleSet, v ChaseVariant) (*Verdict, error) {
+	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	for i, r := range rs.Rules {
+		if !r.IsSimpleLinear() {
+			return nil, fmt.Errorf("core: rule %d (%s) is not simple-linear", i, r)
+		}
+	}
+	if cs := rs.Constants(); len(cs) > 0 {
+		return nil, fmt.Errorf("core: positional SL decision requires constant-free rules (found %v); use DecideLinear", cs)
+	}
+	var ok bool
+	var w *acyclicity.Witness
+	var method string
+	if v == VariantOblivious {
+		ok, w = acyclicity.IsRichlyAcyclic(rs)
+		method = "rich-acyclicity(SL)"
+	} else {
+		ok, w = acyclicity.IsWeaklyAcyclic(rs)
+		method = "weak-acyclicity(SL)"
+	}
+	verdict := &Verdict{Variant: v, Method: method}
+	if ok {
+		verdict.Answer = Terminating
+	} else {
+		verdict.Answer = NonTerminating
+		verdict.Witness = w.String()
+	}
+	return verdict, nil
+}
+
+// decideGeneral applies the sound fallbacks for unrestricted TGDs.
+func decideGeneral(rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, error) {
+	// 1. Positional acyclicity: RA ⇒ CT^o, WA ⇒ CT^so.
+	if v == VariantOblivious {
+		if ok, _ := acyclicity.IsRichlyAcyclic(rs); ok {
+			return &Verdict{Answer: Terminating, Variant: v, Method: "rich-acyclicity"}, nil
+		}
+	} else {
+		if ok, _ := acyclicity.IsWeaklyAcyclic(rs); ok {
+			return &Verdict{Answer: Terminating, Variant: v, Method: "weak-acyclicity"}, nil
+		}
+	}
+	// 2. Bounded critical-instance chase: saturation proves termination.
+	target := rs
+	if v == VariantOblivious {
+		target = critical.AuxTransform(rs)
+	}
+	res, err := critical.Oracle(target, chase.SemiOblivious, chase.Options{
+		MaxTriggers: opt.OracleMaxTriggers,
+		MaxFacts:    opt.OracleMaxFacts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res.Outcome == chase.Terminated {
+		return &Verdict{Answer: Terminating, Variant: v, Method: "critical-saturation"}, nil
+	}
+	// 3. Inconclusive. Report what was observed (a cyclic Skolem term is a
+	// strong — though for non-guarded sets not conclusive — sign of
+	// divergence).
+	witness := fmt.Sprintf("critical chase exceeded budget (%d facts, %d triggers applied, max term depth %d)",
+		res.Instance.Size(), res.Stats.TriggersApplied, res.Stats.MaxTermDepth)
+	return &Verdict{Answer: Unknown, Variant: v, Method: "bounded-oracle", Witness: witness}, nil
+}

@@ -1,0 +1,249 @@
+// Package graph provides the small directed-graph machinery shared by the
+// acyclicity criteria of the paper: graphs whose edges are either regular or
+// special (the dependency-graph notation of Fagin et al., where special
+// edges record the creation of fresh labelled nulls), strongly connected
+// components, and detection of cycles that traverse at least one special
+// edge — the condition whose absence defines weak/rich acyclicity.
+package graph
+
+// Edge is a directed edge; Special marks the dependency-graph edges that
+// correspond to the creation of a new null value.
+type Edge struct {
+	From, To int
+	Special  bool
+}
+
+// Graph is a directed multigraph over nodes 0..N-1 with regular and special
+// edges.
+type Graph struct {
+	n     int
+	adj   [][]Edge
+	edges []Edge
+}
+
+// New creates a graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{n: n, adj: make([][]Edge, n)}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// Edges returns all edges in insertion order. The slice must not be
+// modified.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddNode appends a fresh node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	g.n++
+	return g.n - 1
+}
+
+// AddEdge inserts a directed edge. Duplicate edges are kept (harmless for
+// the analyses here) unless AddEdgeDedup is used.
+func (g *Graph) AddEdge(from, to int, special bool) {
+	e := Edge{From: from, To: to, Special: special}
+	g.adj[from] = append(g.adj[from], e)
+	g.edges = append(g.edges, e)
+}
+
+// AddEdgeDedup inserts the edge unless an identical edge already leaves
+// from. It is O(out-degree); fine for the schema-sized graphs used here.
+func (g *Graph) AddEdgeDedup(from, to int, special bool) {
+	for _, e := range g.adj[from] {
+		if e.To == to && e.Special == special {
+			return
+		}
+	}
+	g.AddEdge(from, to, special)
+}
+
+// Successors returns the out-edges of node v. The slice must not be
+// modified.
+func (g *Graph) Successors(v int) []Edge { return g.adj[v] }
+
+// SCC computes strongly connected components with Tarjan's algorithm
+// (iterative, so deep graphs cannot overflow the goroutine stack). It
+// returns comp, the component index of every node, and the number of
+// components. Component indexes are in reverse topological order of the
+// condensation (successors first).
+func (g *Graph) SCC() (comp []int, ncomp int) {
+	const unvisited = -1
+	comp = make([]int, g.n)
+	index := make([]int, g.n)
+	low := make([]int, g.n)
+	onStack := make([]bool, g.n)
+	for i := range index {
+		index[i] = unvisited
+		comp[i] = unvisited
+	}
+	var stack []int
+	next := 0
+
+	type frame struct {
+		v, ei int
+	}
+	for root := 0; root < g.n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		frames := []frame{{root, 0}}
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, root)
+		onStack[root] = true
+		for len(frames) > 0 {
+			f := &frames[len(frames)-1]
+			if f.ei < len(g.adj[f.v]) {
+				w := g.adj[f.v][f.ei].To
+				f.ei++
+				if index[w] == unvisited {
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					frames = append(frames, frame{w, 0})
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+				continue
+			}
+			// post-order: pop
+			v := f.v
+			frames = frames[:len(frames)-1]
+			if len(frames) > 0 {
+				p := &frames[len(frames)-1]
+				if low[v] < low[p.v] {
+					low[p.v] = low[v]
+				}
+			}
+			if low[v] == index[v] {
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = ncomp
+					if w == v {
+						break
+					}
+				}
+				ncomp++
+			}
+		}
+	}
+	return comp, ncomp
+}
+
+// SpecialCycleEdge returns a special edge that lies on some cycle, or nil if
+// no cycle of the graph traverses a special edge. A special edge e lies on a
+// cycle exactly when both its endpoints are in the same strongly connected
+// component (self-loops included). This is the standard weak-acyclicity
+// test.
+func (g *Graph) SpecialCycleEdge() *Edge {
+	comp, _ := g.SCC()
+	for i := range g.edges {
+		e := &g.edges[i]
+		if e.Special && comp[e.From] == comp[e.To] {
+			return e
+		}
+	}
+	return nil
+}
+
+// HasSpecialCycle reports whether some cycle traverses a special edge.
+func (g *Graph) HasSpecialCycle() bool { return g.SpecialCycleEdge() != nil }
+
+// CycleThrough returns a cycle (as a node sequence v0, v1, ..., vk = v0)
+// that traverses the given special edge, or nil if none exists. Used to
+// report human-readable witnesses for non-termination verdicts.
+func (g *Graph) CycleThrough(e Edge) []int {
+	// A cycle through e exists iff e.To can reach e.From.
+	path := g.pathBFS(e.To, e.From)
+	if path == nil {
+		return nil
+	}
+	cycle := append([]int{e.From}, path...)
+	return cycle
+}
+
+// pathBFS returns a path from src to dst (inclusive), or nil. A zero-length
+// path [src] is returned when src == dst.
+func (g *Graph) pathBFS(src, dst int) []int {
+	prev := make([]int, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if v == dst {
+			var rev []int
+			for u := dst; ; u = prev[u] {
+				rev = append(rev, u)
+				if u == src {
+					break
+				}
+			}
+			path := make([]int, len(rev))
+			for i := range rev {
+				path[i] = rev[len(rev)-1-i]
+			}
+			return path
+		}
+		for _, e := range g.adj[v] {
+			if prev[e.To] == -1 {
+				prev[e.To] = v
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return nil
+}
+
+// Reachable returns the set of nodes reachable from the given sources
+// (sources included), as a boolean slice.
+func (g *Graph) Reachable(sources ...int) []bool {
+	seen := make([]bool, g.n)
+	queue := make([]int, 0, len(sources))
+	for _, s := range sources {
+		if !seen[s] {
+			seen[s] = true
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, e := range g.adj[v] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// HasCycle reports whether the graph has any directed cycle (regular or
+// special). A node with a self-loop counts; otherwise any SCC with more
+// than one node, or any edge within a single-node SCC, witnesses a cycle.
+func (g *Graph) HasCycle() bool {
+	comp, _ := g.SCC()
+	size := make(map[int]int)
+	for _, c := range comp {
+		size[c]++
+	}
+	for _, e := range g.edges {
+		if comp[e.From] == comp[e.To] && (size[comp[e.From]] > 1 || e.From == e.To) {
+			return true
+		}
+	}
+	return false
+}

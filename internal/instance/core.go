@@ -1,0 +1,143 @@
+package instance
+
+// Core computation: the core of an instance is its smallest retract — the
+// unique (up to isomorphism) minimal subinstance the whole instance maps
+// into homomorphically, where constants are rigid and invented terms
+// (nulls, Skolem terms) behave as variables. Cores are the canonical
+// minimal universal solutions of data exchange (Fagin, Kolaitis, Popa,
+// "Data exchange: getting to the core"): the chase result is a universal
+// solution, and its core is the smallest one.
+//
+// The algorithm is the classic fact-removal loop: while some fact f admits
+// a homomorphism from the instance into the instance without f, replace
+// the instance by the image of that homomorphism (which is strictly
+// smaller) and repeat. Each homomorphism check treats invented terms as
+// variables and reuses the backtracking matcher. Worst-case exponential
+// (core identification is NP-hard), entirely adequate for the chase
+// results handled here.
+
+// Core returns the core of the instance as a fresh instance (the input is
+// not modified) together with the number of facts removed. Invented terms
+// of the input are recreated as plain nulls in the output.
+func Core(in *Instance) (*Instance, int) {
+	facts := make([]Fact, 0, in.Size())
+	for i := 0; i < in.Size(); i++ {
+		facts = append(facts, in.Fact(FactID(i)))
+	}
+	removedTotal := 0
+	for {
+		image, removed := foldOnce(in, facts)
+		if removed == 0 {
+			break
+		}
+		facts = image
+		removedTotal += removed
+	}
+	out := New()
+	termMap := make(map[TermID]TermID)
+	for _, f := range facts {
+		p := out.Pred(in.PredName(f.Pred), len(f.Args))
+		args := make([]TermID, len(f.Args))
+		for i, t := range f.Args {
+			m, ok := termMap[t]
+			if !ok {
+				if in.Terms.IsInvented(t) {
+					m = out.Terms.FreshNull(in.Terms.Depth(t))
+				} else {
+					m = out.Terms.Const(in.Terms.Name(t))
+				}
+				termMap[t] = m
+			}
+			args[i] = m
+		}
+		out.Add(p, args)
+	}
+	return out, removedTotal
+}
+
+// foldOnce tries every single-fact removal; on the first success it
+// returns the homomorphic image (deduplicated fact list) and the number of
+// facts dropped. It returns (facts, 0) when no fact can be removed.
+func foldOnce(in *Instance, facts []Fact) ([]Fact, int) {
+	for skip := range facts {
+		if binding, ok := homInto(in, facts, skip); ok {
+			// Apply the homomorphism to every fact and deduplicate.
+			seen := make(map[string]bool, len(facts))
+			var image []Fact
+			for _, f := range facts {
+				args := make([]TermID, len(f.Args))
+				for i, t := range f.Args {
+					if m, bound := binding[t]; bound {
+						args[i] = m
+					} else {
+						args[i] = t
+					}
+				}
+				k := factKey(f.Pred, args)
+				if !seen[k] {
+					seen[k] = true
+					image = append(image, Fact{Pred: f.Pred, Args: args})
+				}
+			}
+			if len(image) < len(facts) {
+				return image, len(facts) - len(image)
+			}
+		}
+	}
+	return facts, 0
+}
+
+// homInto searches for a homomorphism from facts into facts∖{facts[skip]}
+// that fixes constants and maps invented terms freely. It returns the
+// mapping on invented terms.
+func homInto(in *Instance, facts []Fact, skip int) (map[TermID]TermID, bool) {
+	// Target index: facts without the skipped one, by predicate.
+	target := make(map[PredID][][]TermID)
+	for i, f := range facts {
+		if i == skip {
+			continue
+		}
+		target[f.Pred] = append(target[f.Pred], f.Args)
+	}
+	binding := make(map[TermID]TermID)
+	var match func(fi int) bool
+	match = func(fi int) bool {
+		if fi == len(facts) {
+			return true
+		}
+		f := facts[fi]
+		for _, cand := range target[f.Pred] {
+			var bound []TermID
+			ok := true
+			for i, t := range f.Args {
+				if !in.Terms.IsInvented(t) {
+					if t != cand[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				if m, has := binding[t]; has {
+					if m != cand[i] {
+						ok = false
+						break
+					}
+					continue
+				}
+				binding[t] = cand[i]
+				bound = append(bound, t)
+			}
+			if ok && match(fi+1) {
+				return true
+			}
+			for _, t := range bound {
+				delete(binding, t)
+			}
+		}
+		return false
+	}
+	if match(0) {
+		return binding, true
+	}
+	return nil, false
+}

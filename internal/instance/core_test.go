@@ -1,0 +1,136 @@
+package instance
+
+import (
+	"testing"
+)
+
+// buildInstance is a small helper: consts by name, nulls by negative
+// convention in the spec strings ("_x" prefix).
+func buildTestInstance(t *testing.T, facts [][]string) *Instance {
+	t.Helper()
+	in := New()
+	nulls := make(map[string]TermID)
+	for _, f := range facts {
+		p := in.Pred(f[0], len(f)-1)
+		args := make([]TermID, len(f)-1)
+		for i, s := range f[1:] {
+			if s[0] == '_' {
+				id, ok := nulls[s]
+				if !ok {
+					id = in.Terms.FreshNull(1)
+					nulls[s] = id
+				}
+				args[i] = id
+			} else {
+				args[i] = in.Terms.Const(s)
+			}
+		}
+		in.Add(p, args)
+	}
+	return in
+}
+
+func TestCoreRedundantNullFact(t *testing.T) {
+	// p(a,b) plus p(a,_x): the null fact folds onto the constant fact.
+	in := buildTestInstance(t, [][]string{
+		{"p", "a", "b"},
+		{"p", "a", "_x"},
+	})
+	core, removed := Core(in)
+	if removed != 1 || core.Size() != 1 {
+		t.Errorf("removed=%d size=%d", removed, core.Size())
+	}
+	if core.Strings()[0] != "p(a,b)" {
+		t.Errorf("core: %v", core.Strings())
+	}
+}
+
+func TestCoreKeepsNonRedundantNulls(t *testing.T) {
+	// p(a,_x), q(_x): the null is load-bearing (q has no constant witness).
+	in := buildTestInstance(t, [][]string{
+		{"p", "a", "_x"},
+		{"q", "_x"},
+	})
+	core, removed := Core(in)
+	if removed != 0 || core.Size() != 2 {
+		t.Errorf("removed=%d size=%d %v", removed, core.Size(), core.Strings())
+	}
+}
+
+func TestCoreConstantsAreRigid(t *testing.T) {
+	// Two constant facts never fold onto each other.
+	in := buildTestInstance(t, [][]string{
+		{"p", "a", "b"},
+		{"p", "b", "a"},
+	})
+	core, removed := Core(in)
+	if removed != 0 || core.Size() != 2 {
+		t.Errorf("removed=%d size=%d", removed, core.Size())
+	}
+}
+
+func TestCoreChainFolds(t *testing.T) {
+	// A null chain hanging off a loop: e(a,a) plus e(a,_1), e(_1,_2)
+	// folds entirely onto the loop.
+	in := buildTestInstance(t, [][]string{
+		{"e", "a", "a"},
+		{"e", "a", "_1"},
+		{"e", "_1", "_2"},
+	})
+	core, removed := Core(in)
+	if removed != 2 || core.Size() != 1 {
+		t.Errorf("removed=%d core=%v", removed, core.Strings())
+	}
+}
+
+func TestCoreJointFold(t *testing.T) {
+	// Folding must be consistent across facts sharing a null: r(_x,b),
+	// s(_x) folds onto r(a,b), s(a) only if _x maps to a in both.
+	in := buildTestInstance(t, [][]string{
+		{"r", "a", "b"},
+		{"s", "a"},
+		{"r", "_x", "b"},
+		{"s", "_x"},
+	})
+	core, removed := Core(in)
+	if removed != 2 || core.Size() != 2 {
+		t.Errorf("removed=%d core=%v", removed, core.Strings())
+	}
+	// Now make the fold impossible: _y occurs in s but with r(_y,c).
+	in2 := buildTestInstance(t, [][]string{
+		{"r", "a", "b"},
+		{"s", "a"},
+		{"r", "_y", "c"},
+		{"s", "_y"},
+	})
+	core2, removed2 := Core(in2)
+	if removed2 != 0 || core2.Size() != 4 {
+		t.Errorf("removed=%d core=%v", removed2, core2.Strings())
+	}
+}
+
+func TestCoreOfCoreIsIdentity(t *testing.T) {
+	in := buildTestInstance(t, [][]string{
+		{"p", "a", "_x"},
+		{"p", "a", "_z"},
+		{"q", "_x"},
+	})
+	core, _ := Core(in)
+	again, removed := Core(core)
+	if removed != 0 || again.Size() != core.Size() {
+		t.Errorf("core not idempotent: removed=%d", removed)
+	}
+}
+
+func TestCoreEmptyAndGround(t *testing.T) {
+	in := New()
+	core, removed := Core(in)
+	if removed != 0 || core.Size() != 0 {
+		t.Error("empty instance mishandled")
+	}
+	ground := buildTestInstance(t, [][]string{{"p", "a"}, {"p", "b"}})
+	core, removed = Core(ground)
+	if removed != 0 || core.Size() != 2 {
+		t.Error("ground instance must be its own core")
+	}
+}

@@ -1,0 +1,231 @@
+package instance
+
+import (
+	"fmt"
+
+	"chaseterm/internal/logic"
+)
+
+// Slot is one argument position of a compiled pattern atom: either a
+// variable (by dense index) or a fixed ground term.
+type Slot struct {
+	IsVar bool
+	Var   int
+	Term  TermID
+}
+
+// PatternAtom is a compiled body atom.
+type PatternAtom struct {
+	Pred PredID
+	Args []Slot
+}
+
+// Pattern is a compiled conjunction of atoms over variables indexed
+// 0..NumVars-1, ready for homomorphism enumeration against an instance.
+type Pattern struct {
+	Atoms   []PatternAtom
+	NumVars int
+	// VarNames maps the dense variable index back to the source variable,
+	// for diagnostics.
+	VarNames []logic.Variable
+}
+
+// CompileBody compiles a conjunction of logic atoms against the instance's
+// predicate and constant tables. The variable order (and hence the binding
+// layout) is the order of first occurrence.
+func CompileBody(in *Instance, atoms []logic.Atom) (*Pattern, error) {
+	p := &Pattern{}
+	varIdx := make(map[logic.Variable]int)
+	for _, a := range atoms {
+		pa := PatternAtom{Pred: in.Pred(a.Pred, len(a.Args))}
+		for _, t := range a.Args {
+			switch t := t.(type) {
+			case logic.Variable:
+				i, ok := varIdx[t]
+				if !ok {
+					i = p.NumVars
+					varIdx[t] = i
+					p.NumVars++
+					p.VarNames = append(p.VarNames, t)
+				}
+				pa.Args = append(pa.Args, Slot{IsVar: true, Var: i})
+			case logic.Constant:
+				pa.Args = append(pa.Args, Slot{Term: in.Terms.Const(string(t))})
+			default:
+				return nil, fmt.Errorf("instance: unsupported term %v in pattern", t)
+			}
+		}
+		p.Atoms = append(p.Atoms, pa)
+	}
+	return p, nil
+}
+
+// VarIndex returns the dense index of the named variable, or -1.
+func (p *Pattern) VarIndex(v logic.Variable) int {
+	for i, w := range p.VarNames {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// matchAtom attempts to unify the pattern atom with the fact under the
+// current binding. On success it returns the list of variables newly bound
+// (for backtracking) and true.
+func matchAtom(pa *PatternAtom, f Fact, binding []TermID) ([]int, bool) {
+	var bound []int
+	for i, s := range pa.Args {
+		t := f.Args[i]
+		if !s.IsVar {
+			if s.Term != t {
+				undo(binding, bound)
+				return nil, false
+			}
+			continue
+		}
+		if b := binding[s.Var]; b != NoTerm {
+			if b != t {
+				undo(binding, bound)
+				return nil, false
+			}
+			continue
+		}
+		binding[s.Var] = t
+		bound = append(bound, s.Var)
+	}
+	return bound, true
+}
+
+func undo(binding []TermID, bound []int) {
+	for _, v := range bound {
+		binding[v] = NoTerm
+	}
+}
+
+// candidates returns the candidate fact ids for a pattern atom under the
+// current binding, choosing the most selective available access path:
+// the (pred, pos, term) index when some argument is already ground, else
+// the full predicate extent. The returned estimate is len(candidates).
+func (in *Instance) candidates(pa *PatternAtom, binding []TermID) []FactID {
+	best := in.byPred[pa.Pred]
+	usedIndex := false
+	for i, s := range pa.Args {
+		var t TermID = NoTerm
+		if !s.IsVar {
+			t = s.Term
+		} else if binding[s.Var] != NoTerm {
+			t = binding[s.Var]
+		}
+		if t != NoTerm {
+			c := in.ByPosTerm(pa.Pred, i, t)
+			if !usedIndex || len(c) < len(best) {
+				best = c
+				usedIndex = true
+			}
+		}
+	}
+	return best
+}
+
+// FindHoms enumerates every homomorphism from the pattern into the
+// instance, extending the initial binding (pass nil for an unconstrained
+// search). The callback receives the complete binding (indexed by pattern
+// variable); it must not retain the slice. Returning false stops the
+// enumeration. FindHoms reports whether the enumeration ran to completion
+// (true) or was stopped by the callback (false).
+//
+// Join order: at each step the remaining atom with the fewest candidate
+// facts under the current binding is matched next — a greedy
+// smallest-relation-first plan that keeps the backtracking search cheap on
+// the chase workloads (bodies are small, instances are large).
+func (in *Instance) FindHoms(p *Pattern, initial []TermID, yield func(binding []TermID) bool) bool {
+	binding := make([]TermID, p.NumVars)
+	for i := range binding {
+		binding[i] = NoTerm
+	}
+	for i, t := range initial {
+		if i < len(binding) {
+			binding[i] = t
+		}
+	}
+	remaining := make([]int, len(p.Atoms))
+	for i := range remaining {
+		remaining[i] = i
+	}
+	return in.findRec(p, binding, remaining, yield)
+}
+
+// FindHomsAnchored enumerates homomorphisms in which the pattern atom at
+// index anchor is mapped exactly to the fact with id anchorFact. This is the
+// delta-matching primitive used by the chase engines: when a fact is newly
+// derived, only homomorphisms using it need to be discovered.
+func (in *Instance) FindHomsAnchored(p *Pattern, anchor int, anchorFact FactID, yield func(binding []TermID) bool) bool {
+	binding := make([]TermID, p.NumVars)
+	for i := range binding {
+		binding[i] = NoTerm
+	}
+	bound, ok := matchAtom(&p.Atoms[anchor], in.facts[anchorFact], binding)
+	if !ok {
+		return true
+	}
+	remaining := make([]int, 0, len(p.Atoms)-1)
+	for i := range p.Atoms {
+		if i != anchor {
+			remaining = append(remaining, i)
+		}
+	}
+	complete := in.findRec(p, binding, remaining, yield)
+	undo(binding, bound)
+	return complete
+}
+
+func (in *Instance) findRec(p *Pattern, binding []TermID, remaining []int, yield func([]TermID) bool) bool {
+	if len(remaining) == 0 {
+		return yield(binding)
+	}
+	// Pick the remaining atom with the fewest candidates.
+	bestPos := 0
+	var bestCand []FactID
+	for i, ai := range remaining {
+		c := in.candidates(&p.Atoms[ai], binding)
+		if i == 0 || len(c) < len(bestCand) {
+			bestPos, bestCand = i, c
+			if len(c) == 0 {
+				return true // no match possible down this branch
+			}
+		}
+	}
+	ai := remaining[bestPos]
+	rest := make([]int, 0, len(remaining)-1)
+	rest = append(rest, remaining[:bestPos]...)
+	rest = append(rest, remaining[bestPos+1:]...)
+	for _, fid := range bestCand {
+		bound, ok := matchAtom(&p.Atoms[ai], in.facts[fid], binding)
+		if !ok {
+			continue
+		}
+		if !in.findRec(p, binding, rest, yield) {
+			undo(binding, bound)
+			return false
+		}
+		undo(binding, bound)
+	}
+	return true
+}
+
+// CountHoms returns the number of homomorphisms from the pattern into the
+// instance.
+func (in *Instance) CountHoms(p *Pattern) int {
+	n := 0
+	in.FindHoms(p, nil, func([]TermID) bool { n++; return true })
+	return n
+}
+
+// HasHom reports whether at least one homomorphism extending the initial
+// binding exists.
+func (in *Instance) HasHom(p *Pattern, initial []TermID) bool {
+	found := false
+	in.FindHoms(p, initial, func([]TermID) bool { found = true; return false })
+	return found
+}

@@ -1,0 +1,209 @@
+package instance
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"strings"
+
+	"chaseterm/internal/logic"
+)
+
+// PredID is a dense identifier of an interned predicate.
+type PredID int32
+
+// FactID is a dense identifier of a stored fact. Facts are never removed,
+// so a FactID is stable for the lifetime of the instance.
+type FactID int32
+
+// Fact is a ground atom over interned term ids.
+type Fact struct {
+	Pred PredID
+	Args []TermID
+}
+
+type indexKey struct {
+	pred PredID
+	pos  int32
+	term TermID
+}
+
+// Instance is a set of facts (a database instance, possibly containing
+// invented nulls or Skolem terms) with per-predicate extents and a
+// (predicate, position, term) hash index used by the homomorphism matcher.
+type Instance struct {
+	Terms *TermTable
+
+	predByName map[string]PredID
+	predNames  []string
+	predArity  []int
+
+	facts  []Fact
+	lookup map[string]FactID
+	byPred [][]FactID
+	index  map[indexKey][]FactID
+}
+
+// New creates an empty instance with a fresh term table.
+func New() *Instance {
+	return &Instance{
+		Terms:      NewTermTable(),
+		predByName: make(map[string]PredID),
+		lookup:     make(map[string]FactID),
+		index:      make(map[indexKey][]FactID),
+	}
+}
+
+// Pred interns a predicate by name and arity. Using one name with two
+// different arities is a programming error and panics (the parser and
+// RuleSet.Validate reject such inputs earlier).
+func (in *Instance) Pred(name string, arity int) PredID {
+	if id, ok := in.predByName[name]; ok {
+		if in.predArity[id] != arity {
+			panic(fmt.Sprintf("instance: predicate %s used with arity %d and %d", name, in.predArity[id], arity))
+		}
+		return id
+	}
+	id := PredID(len(in.predNames))
+	in.predByName[name] = id
+	in.predNames = append(in.predNames, name)
+	in.predArity = append(in.predArity, arity)
+	in.byPred = append(in.byPred, nil)
+	return id
+}
+
+// LookupPred returns the id of a predicate if already interned.
+func (in *Instance) LookupPred(name string) (PredID, bool) {
+	id, ok := in.predByName[name]
+	return id, ok
+}
+
+// PredName returns the name of a predicate id.
+func (in *Instance) PredName(p PredID) string { return in.predNames[p] }
+
+// PredArity returns the arity of a predicate id.
+func (in *Instance) PredArity(p PredID) int { return in.predArity[p] }
+
+// NumPreds returns the number of interned predicates.
+func (in *Instance) NumPreds() int { return len(in.predNames) }
+
+// Size returns the number of stored facts.
+func (in *Instance) Size() int { return len(in.facts) }
+
+// Fact returns the fact with the given id. The returned value shares the
+// underlying argument slice; callers must not modify it.
+func (in *Instance) Fact(id FactID) Fact { return in.facts[id] }
+
+func factKey(p PredID, args []TermID) string {
+	var b strings.Builder
+	b.Grow(4 + 4*len(args))
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(p))
+	b.Write(buf[:])
+	for _, a := range args {
+		binary.LittleEndian.PutUint32(buf[:], uint32(a))
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// Add inserts the fact p(args...) if not already present. It returns the
+// fact id and whether the fact was newly added. The args slice is copied.
+func (in *Instance) Add(p PredID, args []TermID) (FactID, bool) {
+	key := factKey(p, args)
+	if id, ok := in.lookup[key]; ok {
+		return id, false
+	}
+	own := make([]TermID, len(args))
+	copy(own, args)
+	id := FactID(len(in.facts))
+	in.facts = append(in.facts, Fact{Pred: p, Args: own})
+	in.lookup[key] = id
+	in.byPred[p] = append(in.byPred[p], id)
+	for i, t := range own {
+		k := indexKey{pred: p, pos: int32(i), term: t}
+		in.index[k] = append(in.index[k], id)
+	}
+	return id, true
+}
+
+// Contains reports whether the fact p(args...) is present.
+func (in *Instance) Contains(p PredID, args []TermID) bool {
+	_, ok := in.lookup[factKey(p, args)]
+	return ok
+}
+
+// ByPred returns the ids of all facts with the given predicate, in insertion
+// order. The slice must not be modified.
+func (in *Instance) ByPred(p PredID) []FactID { return in.byPred[p] }
+
+// ByPosTerm returns the ids of all facts with predicate p whose argument at
+// position pos equals term. The slice must not be modified.
+func (in *Instance) ByPosTerm(p PredID, pos int, term TermID) []FactID {
+	return in.index[indexKey{pred: p, pos: int32(pos), term: term}]
+}
+
+// AddLogicAtom interns and inserts a ground logic.Atom (constants only).
+// It returns an error if the atom contains a variable.
+func (in *Instance) AddLogicAtom(a logic.Atom) (FactID, bool, error) {
+	p := in.Pred(a.Pred, len(a.Args))
+	args := make([]TermID, len(a.Args))
+	for i, t := range a.Args {
+		c, ok := t.(logic.Constant)
+		if !ok {
+			return 0, false, fmt.Errorf("instance: atom %s is not ground", a)
+		}
+		args[i] = in.Terms.Const(string(c))
+	}
+	id, added := in.Add(p, args)
+	return id, added, nil
+}
+
+// FromAtoms builds an instance from ground atoms.
+func FromAtoms(atoms []logic.Atom) (*Instance, error) {
+	in := New()
+	for _, a := range atoms {
+		if _, _, err := in.AddLogicAtom(a); err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// FactString renders a fact for diagnostics.
+func (in *Instance) FactString(id FactID) string {
+	f := in.facts[id]
+	if len(f.Args) == 0 {
+		return in.predNames[f.Pred]
+	}
+	parts := make([]string, len(f.Args))
+	for i, a := range f.Args {
+		parts[i] = in.Terms.String(a)
+	}
+	return in.predNames[f.Pred] + "(" + strings.Join(parts, ",") + ")"
+}
+
+// Strings renders every fact, sorted lexicographically — convenient for
+// tests and goldens.
+func (in *Instance) Strings() []string {
+	out := make([]string, len(in.facts))
+	for i := range in.facts {
+		out[i] = in.FactString(FactID(i))
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MaxInventedDepth returns the maximum Skolem/null depth over all terms
+// occurring in facts; 0 if the instance is invention-free.
+func (in *Instance) MaxInventedDepth() int32 {
+	var d int32
+	for _, f := range in.facts {
+		for _, t := range f.Args {
+			if dd := in.Terms.Depth(t); dd > d {
+				d = dd
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,172 @@
+// Package instance implements ground instances: interned ground terms
+// (constants, labelled nulls, Skolem terms), fact storage with secondary
+// indexes, and homomorphism enumeration — the machinery the chase engines
+// in package chase are built on.
+//
+// Terms and facts are interned to dense integer ids so that equality is an
+// integer comparison and facts can be deduplicated in O(1); this is what
+// makes the semi-oblivious (Skolem) chase's "two homomorphisms agreeing on
+// the frontier are indistinguishable" concrete: equal frontier tuples yield
+// the identical Skolem term ids and therefore the identical facts.
+package instance
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// TermID is a dense identifier of an interned ground term.
+type TermID int32
+
+// NoTerm is the sentinel "unbound" term id used in partial bindings.
+const NoTerm TermID = -1
+
+// TermKind distinguishes ground term species.
+type TermKind uint8
+
+const (
+	// KindConst is an uninterpreted constant.
+	KindConst TermKind = iota
+	// KindNull is a labelled null invented by the oblivious or restricted
+	// chase (one fresh null per trigger application and existential
+	// variable).
+	KindNull
+	// KindSkolem is a Skolem term f_{σ,z}(t̄) invented by the
+	// semi-oblivious chase; interned on (function, arguments) so that equal
+	// frontier tuples yield the same term.
+	KindSkolem
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case KindConst:
+		return "const"
+	case KindNull:
+		return "null"
+	default:
+		return "skolem"
+	}
+}
+
+type termInfo struct {
+	kind  TermKind
+	name  string // constant name; Skolem function name; empty for nulls
+	args  []TermID
+	depth int32 // Skolem nesting depth; "birth depth" for nulls; 0 for constants
+}
+
+// TermTable interns ground terms. The zero value is not usable; call
+// NewTermTable.
+type TermTable struct {
+	infos   []termInfo
+	consts  map[string]TermID
+	skolems map[string]TermID
+	nulls   int
+}
+
+// NewTermTable creates an empty term table.
+func NewTermTable() *TermTable {
+	return &TermTable{
+		consts:  make(map[string]TermID),
+		skolems: make(map[string]TermID),
+	}
+}
+
+// Len returns the number of interned terms.
+func (t *TermTable) Len() int { return len(t.infos) }
+
+// Const interns a constant by name.
+func (t *TermTable) Const(name string) TermID {
+	if id, ok := t.consts[name]; ok {
+		return id
+	}
+	id := TermID(len(t.infos))
+	t.infos = append(t.infos, termInfo{kind: KindConst, name: name})
+	t.consts[name] = id
+	return id
+}
+
+// LookupConst returns the id of a constant if already interned.
+func (t *TermTable) LookupConst(name string) (TermID, bool) {
+	id, ok := t.consts[name]
+	return id, ok
+}
+
+// FreshNull invents a labelled null that is distinct from every existing
+// term. depth records how deep in the chase derivation the null was born
+// (max birth depth of the trigger's image terms, plus one); it is used for
+// run statistics only.
+func (t *TermTable) FreshNull(depth int32) TermID {
+	id := TermID(len(t.infos))
+	t.nulls++
+	t.infos = append(t.infos, termInfo{kind: KindNull, name: fmt.Sprintf("z%d", t.nulls), depth: depth})
+	return id
+}
+
+// Skolem interns the Skolem term fn(args...). fn names must be unique per
+// (rule, existential variable) pair; the chase engine guarantees this.
+func (t *TermTable) Skolem(fn string, args []TermID) TermID {
+	key := skolemKey(fn, args)
+	if id, ok := t.skolems[key]; ok {
+		return id
+	}
+	depth := int32(0)
+	for _, a := range args {
+		if d := t.infos[a].depth; d > depth {
+			depth = d
+		}
+	}
+	id := TermID(len(t.infos))
+	own := make([]TermID, len(args))
+	copy(own, args)
+	t.infos = append(t.infos, termInfo{kind: KindSkolem, name: fn, args: own, depth: depth + 1})
+	t.skolems[key] = id
+	return id
+}
+
+func skolemKey(fn string, args []TermID) string {
+	var b strings.Builder
+	b.Grow(len(fn) + 1 + 4*len(args))
+	b.WriteString(fn)
+	b.WriteByte(0)
+	var buf [4]byte
+	for _, a := range args {
+		binary.LittleEndian.PutUint32(buf[:], uint32(a))
+		b.Write(buf[:])
+	}
+	return b.String()
+}
+
+// Kind returns the kind of a term.
+func (t *TermTable) Kind(id TermID) TermKind { return t.infos[id].kind }
+
+// Depth returns the Skolem nesting depth (or null birth depth) of a term;
+// constants have depth 0.
+func (t *TermTable) Depth(id TermID) int32 { return t.infos[id].depth }
+
+// IsInvented reports whether the term is a null or Skolem term (i.e. not a
+// constant).
+func (t *TermTable) IsInvented(id TermID) bool { return t.infos[id].kind != KindConst }
+
+// SkolemArgs returns the argument terms of a Skolem term (nil otherwise).
+// The slice must not be modified.
+func (t *TermTable) SkolemArgs(id TermID) []TermID { return t.infos[id].args }
+
+// Name returns the constant name or Skolem function name ("" for nulls).
+func (t *TermTable) Name(id TermID) string { return t.infos[id].name }
+
+// String renders the term for diagnostics.
+func (t *TermTable) String(id TermID) string {
+	in := t.infos[id]
+	switch in.kind {
+	case KindConst, KindNull:
+		return in.name
+	default:
+		parts := make([]string, len(in.args))
+		for i, a := range in.args {
+			parts[i] = t.String(a)
+		}
+		return in.name + "(" + strings.Join(parts, ",") + ")"
+	}
+}

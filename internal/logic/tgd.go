@@ -1,0 +1,307 @@
+package logic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TGD is a tuple-generating dependency (existential rule)
+//
+//	∀X ∀Y ( φ(X,Y) → ∃Z ψ(Y,Z) )
+//
+// written Body -> Head. Every variable occurring in the body is universally
+// quantified; every head variable that does not occur in the body is
+// existentially quantified. The frontier is the set of universally
+// quantified variables that occur in the head (the Y above).
+type TGD struct {
+	Body []Atom
+	Head []Atom
+
+	// Label is an optional human-readable name used in diagnostics.
+	Label string
+
+	// memoized analyses (computed lazily, the zero TGD is usable)
+	bodyVars, headVars, frontier, existential []Variable
+	analyzed                                  bool
+}
+
+// NewTGD builds a TGD from body and head conjunctions.
+func NewTGD(body, head []Atom) *TGD { return &TGD{Body: body, Head: head} }
+
+func (t *TGD) analyze() {
+	if t.analyzed {
+		return
+	}
+	for _, a := range t.Body {
+		t.bodyVars = a.Variables(t.bodyVars)
+	}
+	for _, a := range t.Head {
+		t.headVars = a.Variables(t.headVars)
+	}
+	for _, v := range t.headVars {
+		if containsVar(t.bodyVars, v) {
+			t.frontier = append(t.frontier, v)
+		} else {
+			t.existential = append(t.existential, v)
+		}
+	}
+	t.analyzed = true
+}
+
+// BodyVariables returns the distinct variables of the body in order of first
+// occurrence. The returned slice must not be modified.
+func (t *TGD) BodyVariables() []Variable { t.analyze(); return t.bodyVars }
+
+// HeadVariables returns the distinct variables of the head in order of first
+// occurrence. The returned slice must not be modified.
+func (t *TGD) HeadVariables() []Variable { t.analyze(); return t.headVars }
+
+// Frontier returns the frontier variables: universally quantified variables
+// occurring in the head. Two homomorphisms agreeing on the frontier are
+// indistinguishable for the semi-oblivious chase.
+func (t *TGD) Frontier() []Variable { t.analyze(); return t.frontier }
+
+// Existentials returns the existentially quantified variables of the head.
+func (t *TGD) Existentials() []Variable { t.analyze(); return t.existential }
+
+// IsFull reports whether the TGD has no existentially quantified variables
+// (a "full" TGD, i.e. a Datalog rule).
+func (t *TGD) IsFull() bool { t.analyze(); return len(t.existential) == 0 }
+
+// IsLinear reports whether the TGD has exactly one body atom.
+func (t *TGD) IsLinear() bool { return len(t.Body) == 1 }
+
+// IsSimpleLinear reports whether the TGD is linear and no variable is
+// repeated in its body atom.
+func (t *TGD) IsSimpleLinear() bool {
+	return t.IsLinear() && !t.Body[0].HasRepeatedVariable()
+}
+
+// GuardIndex returns the index of the first body atom that contains every
+// universally quantified variable of the TGD (the guard), or -1 if no body
+// atom does.
+func (t *TGD) GuardIndex() int {
+	t.analyze()
+	for i, a := range t.Body {
+		var vs []Variable
+		vs = a.Variables(vs)
+		if len(vs) == len(t.bodyVars) {
+			return i
+		}
+	}
+	return -1
+}
+
+// IsGuarded reports whether some body atom guards all universally
+// quantified variables.
+func (t *TGD) IsGuarded() bool { return t.GuardIndex() >= 0 }
+
+// Validate checks structural sanity: non-empty body and head, and arity
+// consistency is checked at the RuleSet level.
+func (t *TGD) Validate() error {
+	if len(t.Body) == 0 {
+		return fmt.Errorf("logic: TGD %s has an empty body", t.name())
+	}
+	if len(t.Head) == 0 {
+		return fmt.Errorf("logic: TGD %s has an empty head", t.name())
+	}
+	return nil
+}
+
+func (t *TGD) name() string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return t.String()
+}
+
+// Constants returns the distinct constants occurring anywhere in the rule.
+func (t *TGD) Constants(dst []Constant) []Constant {
+	for _, a := range t.Body {
+		dst = a.Constants(dst)
+	}
+	for _, a := range t.Head {
+		dst = a.Constants(dst)
+	}
+	return dst
+}
+
+// Rename returns a copy of the TGD with variables substituted according to
+// ren. Memoized analyses are recomputed on demand in the copy.
+func (t *TGD) Rename(ren map[Variable]Variable) *TGD {
+	body := make([]Atom, len(t.Body))
+	for i, a := range t.Body {
+		body[i] = a.Rename(ren)
+	}
+	head := make([]Atom, len(t.Head))
+	for i, a := range t.Head {
+		head[i] = a.Rename(ren)
+	}
+	return &TGD{Body: body, Head: head, Label: t.Label}
+}
+
+func (t *TGD) String() string {
+	return AtomsString(t.Body) + " -> " + AtomsString(t.Head)
+}
+
+// Class is a syntactic class of TGD sets, ordered by expressiveness:
+// SL ⊆ L ⊆ G ⊆ General.
+type Class int
+
+const (
+	// ClassSimpleLinear: one body atom, no repeated body variables.
+	ClassSimpleLinear Class = iota
+	// ClassLinear: one body atom.
+	ClassLinear
+	// ClassGuarded: some body atom contains all universally quantified
+	// variables.
+	ClassGuarded
+	// ClassGeneral: arbitrary TGDs.
+	ClassGeneral
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassSimpleLinear:
+		return "simple-linear"
+	case ClassLinear:
+		return "linear"
+	case ClassGuarded:
+		return "guarded"
+	default:
+		return "general"
+	}
+}
+
+// Includes reports whether class c contains class d (e.g. guarded includes
+// linear and simple-linear).
+func (c Class) Includes(d Class) bool { return d <= c }
+
+// RuleSet is a finite set of TGDs over a common schema.
+type RuleSet struct {
+	Rules []*TGD
+}
+
+// NewRuleSet builds a rule set; it does not validate (call Validate).
+func NewRuleSet(rules ...*TGD) *RuleSet { return &RuleSet{Rules: rules} }
+
+// Validate checks every rule and the arity-consistency of the schema: a
+// predicate name must be used with a single arity across the whole set.
+func (rs *RuleSet) Validate() error {
+	arities := make(map[string]int)
+	check := func(a Atom, where string) error {
+		if k, ok := arities[a.Pred]; ok && k != len(a.Args) {
+			return fmt.Errorf("logic: predicate %s used with arities %d and %d (%s)", a.Pred, k, len(a.Args), where)
+		}
+		arities[a.Pred] = len(a.Args)
+		return nil
+	}
+	for i, r := range rs.Rules {
+		if err := r.Validate(); err != nil {
+			return err
+		}
+		for _, a := range r.Body {
+			if err := check(a, fmt.Sprintf("body of rule %d", i)); err != nil {
+				return err
+			}
+		}
+		for _, a := range r.Head {
+			if err := check(a, fmt.Sprintf("head of rule %d", i)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Schema returns the predicates occurring in the rule set, sorted by name.
+func (rs *RuleSet) Schema() []Predicate {
+	seen := make(map[Predicate]bool)
+	var preds []Predicate
+	add := func(a Atom) {
+		p := a.Predicate()
+		if !seen[p] {
+			seen[p] = true
+			preds = append(preds, p)
+		}
+	}
+	for _, r := range rs.Rules {
+		for _, a := range r.Body {
+			add(a)
+		}
+		for _, a := range r.Head {
+			add(a)
+		}
+	}
+	sort.Slice(preds, func(i, j int) bool {
+		if preds[i].Name != preds[j].Name {
+			return preds[i].Name < preds[j].Name
+		}
+		return preds[i].Arity < preds[j].Arity
+	})
+	return preds
+}
+
+// Positions returns every position of the schema, in schema order.
+func (rs *RuleSet) Positions() []Position {
+	var out []Position
+	for _, p := range rs.Schema() {
+		for i := 0; i < p.Arity; i++ {
+			out = append(out, Position{Pred: p, Index: i})
+		}
+	}
+	return out
+}
+
+// Constants returns the distinct constants occurring in the rules, sorted.
+func (rs *RuleSet) Constants() []Constant {
+	var cs []Constant
+	for _, r := range rs.Rules {
+		cs = r.Constants(cs)
+	}
+	sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+	return cs
+}
+
+// MaxArity returns the maximum predicate arity of the schema (0 for empty).
+func (rs *RuleSet) MaxArity() int {
+	m := 0
+	for _, p := range rs.Schema() {
+		if p.Arity > m {
+			m = p.Arity
+		}
+	}
+	return m
+}
+
+// Classify returns the most specific syntactic class containing every rule
+// of the set.
+func (rs *RuleSet) Classify() Class {
+	c := ClassSimpleLinear
+	for _, r := range rs.Rules {
+		switch {
+		case r.IsSimpleLinear():
+		case r.IsLinear():
+			if c < ClassLinear {
+				c = ClassLinear
+			}
+		case r.IsGuarded():
+			if c < ClassGuarded {
+				c = ClassGuarded
+			}
+		default:
+			return ClassGeneral
+		}
+	}
+	return c
+}
+
+func (rs *RuleSet) String() string {
+	var b strings.Builder
+	for _, r := range rs.Rules {
+		b.WriteString(r.String())
+		b.WriteString(".\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package parse
+
+import (
+	"testing"
+)
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// round-trip through the formatter. Runs its seed corpus under plain
+// `go test`; explore further with `go test -fuzz=FuzzParse ./internal/parse`.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"p(X) -> q(X).",
+		"person(X) -> hasFather(X,Y), person(Y).\nperson(bob).",
+		"p(a,b). q('hello world'). zero.",
+		"g(X,Y), gate(X) -> g(Y,Z).",
+		"p(X,0) -> q(1).",
+		"% comment\np(X)->q(X).",
+		"p(X) -> ",
+		"p(X,) -> q(X).",
+		"p((X)) -> q.",
+		"'lone quote",
+		"p -> q -> r.",
+		"p(X) :- q(X).",
+		"\x00\x01\x02",
+		"p(✶) -> q(✶).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input must round-trip: format, reparse, compare.
+		text := FormatRules(prog.Rules) + FormatFacts(prog.Facts)
+		prog2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("reparse of formatted output failed: %v\ninput: %q\nformatted: %q", err, src, text)
+		}
+		text2 := FormatRules(prog2.Rules) + FormatFacts(prog2.Facts)
+		if text != text2 {
+			t.Fatalf("format not stable:\n%q\nvs\n%q", text, text2)
+		}
+	})
+}

@@ -1,0 +1,182 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"chaseterm/internal/logic"
+)
+
+func TestParseRulesBasic(t *testing.T) {
+	rs, err := ParseRules(`
+% the paper's Example 1
+person(X) -> hasFather(X,Y), person(Y).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rules) != 1 {
+		t.Fatalf("got %d rules", len(rs.Rules))
+	}
+	r := rs.Rules[0]
+	if r.String() != "person(X) -> hasFather(X,Y), person(Y)" {
+		t.Errorf("round trip: %s", r)
+	}
+	if got := r.Existentials(); len(got) != 1 || got[0] != "Y" {
+		t.Errorf("existentials: %v", got)
+	}
+}
+
+func TestParseFactsAndRulesMixed(t *testing.T) {
+	prog, err := Parse(`
+p(a,b).
+p(X,Y) -> q(Y).
+q(b).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Facts) != 2 {
+		t.Fatalf("facts: %d", len(prog.Facts))
+	}
+	if len(prog.Rules.Rules) != 1 {
+		t.Fatalf("rules: %d", len(prog.Rules.Rules))
+	}
+	if prog.Facts[0].String() != "p(a,b)" || prog.Facts[1].String() != "q(b)" {
+		t.Errorf("facts parsed wrong: %v", prog.Facts)
+	}
+}
+
+func TestParseTermKinds(t *testing.T) {
+	rs, err := ParseRules(`p(X, abc, 'Quoted Const', 0, _under) -> q(X).`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	args := rs.Rules[0].Body[0].Args
+	if _, ok := args[0].(logic.Variable); !ok {
+		t.Error("X should be a variable")
+	}
+	if c, ok := args[1].(logic.Constant); !ok || c != "abc" {
+		t.Error("abc should be a constant")
+	}
+	if c, ok := args[2].(logic.Constant); !ok || c != "Quoted Const" {
+		t.Errorf("quoted constant wrong: %v", args[2])
+	}
+	if c, ok := args[3].(logic.Constant); !ok || c != "0" {
+		t.Error("0 should be a constant")
+	}
+	if _, ok := args[4].(logic.Variable); !ok {
+		t.Error("_under should be a variable")
+	}
+}
+
+func TestParseZeroAry(t *testing.T) {
+	rs, err := ParseRules(`start -> goal().`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rs.Rules[0]
+	if len(r.Body[0].Args) != 0 || len(r.Head[0].Args) != 0 {
+		t.Error("0-ary atoms parsed with arguments")
+	}
+	if r.Body[0].Pred != "start" || r.Head[0].Pred != "goal" {
+		t.Errorf("preds: %s -> %s", r.Body[0].Pred, r.Head[0].Pred)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	rs, err := ParseRules(`
+% percent comment
+# hash comment
+// slash comment
+p(X) -> q(X). % trailing
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rules) != 1 {
+		t.Fatalf("rules: %d", len(rs.Rules))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"missing dot", `p(X) -> q(X)`, "expected"},
+		{"variable in fact", `p(X).`, "contains a variable"},
+		{"arity clash", `p(X) -> p(X,X).`, "arities"},
+		{"prolog arrow", `q(X) :- p(X).`, "->"},
+		{"unterminated quote", `p('abc) -> q(X).`, "unterminated"},
+		{"stray char", `p(X) & q(X) -> r(X).`, "unexpected character"},
+		{"bad dash", `p(X) - q(X).`, "expected '->'"},
+		{"fact arity clash with rule", "p(X,Y) -> q(X).\nq(a,b).", "arity"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("no error for %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestParseErrorPosition(t *testing.T) {
+	_, err := Parse("p(X) -> q(X).\np(X) -> ???.")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if perr.Line != 2 {
+		t.Errorf("line: got %d, want 2", perr.Line)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	src := `person(X) -> hasFather(X,Y), person(Y).
+p(X,Y), q(Y) -> r(Y,Z).
+zero -> one.
+`
+	rs, err := ParseRules(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatRules(rs)
+	rs2, err := ParseRules(out)
+	if err != nil {
+		t.Fatalf("reparse: %v (text: %q)", err, out)
+	}
+	if FormatRules(rs2) != out {
+		t.Errorf("format not stable:\n%s\nvs\n%s", out, FormatRules(rs2))
+	}
+}
+
+func TestRoundTripFacts(t *testing.T) {
+	facts := MustParseFacts("p(a,b).\nq('hello world').\n")
+	out := FormatFacts(facts)
+	facts2, err := ParseFacts(out)
+	if err != nil {
+		// quoted constants with spaces cannot round-trip without quotes;
+		// the formatter must re-quote. This test documents the contract.
+		t.Fatalf("reparse: %v (text %q)", err, out)
+	}
+	if len(facts2) != 2 {
+		t.Fatalf("facts: %d", len(facts2))
+	}
+}
+
+func TestParseRulesRejectsFacts(t *testing.T) {
+	if _, err := ParseRules(`p(a).`); err == nil {
+		t.Error("ParseRules accepted a fact")
+	}
+	if _, err := ParseFacts(`p(X) -> q(X).`); err == nil {
+		t.Error("ParseFacts accepted a rule")
+	}
+}

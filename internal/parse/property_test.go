@@ -1,0 +1,37 @@
+package parse
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"chaseterm/internal/workload"
+)
+
+// TestQuickRoundTrip: format ∘ parse is the identity on formatted rule
+// sets, across all generator classes.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(seedVal int64) bool {
+		rng := rand.New(rand.NewSource(seedVal))
+		for _, rs := range []interface{ String() string }{
+			workload.RandomSL(rng, workload.Config{NumPreds: 4, MaxArity: 3, NumRules: 4}),
+			workload.RandomLinear(rng, workload.Config{NumPreds: 4, MaxArity: 3, NumRules: 4, RepeatProb: 0.4, ConstProb: 0.2}),
+			workload.RandomGuarded(rng, workload.Config{NumPreds: 4, MaxArity: 3, NumRules: 4, ConstProb: 0.2}),
+		} {
+			text := rs.String()
+			parsed, err := ParseRules(text)
+			if err != nil {
+				t.Logf("reparse failed on:\n%s", text)
+				return false
+			}
+			if parsed.String() != text {
+				t.Logf("unstable:\n%s\nvs\n%s", text, parsed.String())
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,504 @@
+// Package workload generates the rule sets driving the experiment suite:
+// seeded random TGD sets per syntactic class (used to cross-validate the
+// deciders against the chase oracle), the paper's running examples, and two
+// realistic scenarios (a DL-Lite-style ontology and a data-exchange
+// mapping) exercising the motivations listed in the paper's introduction.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"chaseterm/internal/logic"
+)
+
+// Config controls random rule-set generation. Zero values select defaults.
+type Config struct {
+	// NumPreds is the number of predicates (default 3).
+	NumPreds int
+	// MaxArity bounds predicate arities, chosen uniformly in [1, MaxArity]
+	// (default 2).
+	MaxArity int
+	// NumRules is the number of TGDs (default 3).
+	NumRules int
+	// ExistProb is the probability that a head position holds an
+	// existential variable (default 0.35).
+	ExistProb float64
+	// MaxHeadAtoms bounds head size (default 2).
+	MaxHeadAtoms int
+	// RepeatProb is the probability of repeating a body variable (linear
+	// and guarded generators only; default 0.25).
+	RepeatProb float64
+	// MaxSideAtoms bounds the number of non-guard body atoms in guarded
+	// rules (default 2).
+	MaxSideAtoms int
+	// ConstProb is the probability that a body/head position holds one of
+	// the constants 0/1 instead of a variable (default 0).
+	ConstProb float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.NumPreds == 0 {
+		c.NumPreds = 3
+	}
+	if c.MaxArity == 0 {
+		c.MaxArity = 2
+	}
+	if c.NumRules == 0 {
+		c.NumRules = 3
+	}
+	if c.ExistProb == 0 {
+		c.ExistProb = 0.35
+	}
+	if c.MaxHeadAtoms == 0 {
+		c.MaxHeadAtoms = 2
+	}
+	if c.RepeatProb == 0 {
+		c.RepeatProb = 0.25
+	}
+	if c.MaxSideAtoms == 0 {
+		c.MaxSideAtoms = 2
+	}
+	return c
+}
+
+type gen struct {
+	rng   *rand.Rand
+	cfg   Config
+	preds []logic.Predicate
+}
+
+func newGen(rng *rand.Rand, cfg Config) *gen {
+	cfg = cfg.withDefaults()
+	g := &gen{rng: rng, cfg: cfg}
+	for i := 0; i < cfg.NumPreds; i++ {
+		g.preds = append(g.preds, logic.Predicate{
+			Name:  fmt.Sprintf("p%d", i),
+			Arity: 1 + rng.Intn(cfg.MaxArity),
+		})
+	}
+	return g
+}
+
+func (g *gen) pred() logic.Predicate { return g.preds[g.rng.Intn(len(g.preds))] }
+
+func (g *gen) maybeConst() (logic.Term, bool) {
+	if g.cfg.ConstProb > 0 && g.rng.Float64() < g.cfg.ConstProb {
+		return logic.Constant(fmt.Sprint(g.rng.Intn(2))), true
+	}
+	return nil, false
+}
+
+// bodyAtomSimple builds a body atom with fresh distinct variables.
+func (g *gen) bodyAtomSimple(p logic.Predicate) (logic.Atom, []logic.Variable) {
+	args := make([]logic.Term, p.Arity)
+	var vars []logic.Variable
+	for i := range args {
+		if c, ok := g.maybeConst(); ok {
+			args[i] = c
+			continue
+		}
+		v := logic.Variable(fmt.Sprintf("X%d", len(vars)))
+		vars = append(vars, v)
+		args[i] = v
+	}
+	return logic.Atom{Pred: p.Name, Args: args}, vars
+}
+
+// bodyAtomRepeating builds a body atom where variables may repeat.
+func (g *gen) bodyAtomRepeating(p logic.Predicate) (logic.Atom, []logic.Variable) {
+	args := make([]logic.Term, p.Arity)
+	var vars []logic.Variable
+	for i := range args {
+		if c, ok := g.maybeConst(); ok {
+			args[i] = c
+			continue
+		}
+		if len(vars) > 0 && g.rng.Float64() < g.cfg.RepeatProb {
+			args[i] = vars[g.rng.Intn(len(vars))]
+			continue
+		}
+		v := logic.Variable(fmt.Sprintf("X%d", len(vars)))
+		vars = append(vars, v)
+		args[i] = v
+	}
+	return logic.Atom{Pred: p.Name, Args: args}, vars
+}
+
+// head builds 1..MaxHeadAtoms head atoms over the given frontier candidate
+// variables plus a shared pool of existential variables.
+func (g *gen) head(bodyVars []logic.Variable) []logic.Atom {
+	n := 1 + g.rng.Intn(g.cfg.MaxHeadAtoms)
+	var atoms []logic.Atom
+	numEx := 0
+	for i := 0; i < n; i++ {
+		p := g.pred()
+		args := make([]logic.Term, p.Arity)
+		for j := range args {
+			if c, ok := g.maybeConst(); ok {
+				args[j] = c
+				continue
+			}
+			if len(bodyVars) == 0 || g.rng.Float64() < g.cfg.ExistProb {
+				// reuse an existing existential half the time
+				if numEx > 0 && g.rng.Intn(2) == 0 {
+					args[j] = logic.Variable(fmt.Sprintf("Z%d", g.rng.Intn(numEx)))
+				} else {
+					args[j] = logic.Variable(fmt.Sprintf("Z%d", numEx))
+					numEx++
+				}
+				continue
+			}
+			args[j] = bodyVars[g.rng.Intn(len(bodyVars))]
+		}
+		atoms = append(atoms, logic.Atom{Pred: p.Name, Args: args})
+	}
+	return atoms
+}
+
+// RandomSL generates a random simple-linear rule set: single body atom, no
+// repeated body variables.
+func RandomSL(rng *rand.Rand, cfg Config) *logic.RuleSet {
+	g := newGen(rng, cfg)
+	rs := logic.NewRuleSet()
+	for i := 0; i < g.cfg.NumRules; i++ {
+		body, vars := g.bodyAtomSimple(g.pred())
+		rs.Rules = append(rs.Rules, logic.NewTGD([]logic.Atom{body}, g.head(vars)))
+	}
+	return rs
+}
+
+// RandomLinear generates a random linear rule set; body variables may
+// repeat (so the set is usually outside SL).
+func RandomLinear(rng *rand.Rand, cfg Config) *logic.RuleSet {
+	g := newGen(rng, cfg)
+	rs := logic.NewRuleSet()
+	for i := 0; i < g.cfg.NumRules; i++ {
+		body, vars := g.bodyAtomRepeating(g.pred())
+		rs.Rules = append(rs.Rules, logic.NewTGD([]logic.Atom{body}, g.head(vars)))
+	}
+	return rs
+}
+
+// RandomGuarded generates a random guarded rule set: a guard atom with
+// distinct variables plus side atoms over subsets of the guard variables.
+func RandomGuarded(rng *rand.Rand, cfg Config) *logic.RuleSet {
+	g := newGen(rng, cfg)
+	rs := logic.NewRuleSet()
+	for i := 0; i < g.cfg.NumRules; i++ {
+		guard, vars := g.bodyAtomSimple(g.pred())
+		body := []logic.Atom{guard}
+		if len(vars) > 0 {
+			nside := g.rng.Intn(g.cfg.MaxSideAtoms + 1)
+			for s := 0; s < nside; s++ {
+				p := g.pred()
+				args := make([]logic.Term, p.Arity)
+				for j := range args {
+					if c, ok := g.maybeConst(); ok {
+						args[j] = c
+						continue
+					}
+					args[j] = vars[g.rng.Intn(len(vars))]
+				}
+				body = append(body, logic.Atom{Pred: p.Name, Args: args})
+			}
+		}
+		rs.Rules = append(rs.Rules, logic.NewTGD(body, g.head(vars)))
+	}
+	return rs
+}
+
+// Example1 is the paper's Example 1: every person has a father who is a
+// person.
+func Example1() *logic.RuleSet {
+	return logic.NewRuleSet(logic.NewTGD(
+		[]logic.Atom{logic.NewAtom("person", logic.Variable("X"))},
+		[]logic.Atom{
+			logic.NewAtom("hasFather", logic.Variable("X"), logic.Variable("Y")),
+			logic.NewAtom("person", logic.Variable("Y")),
+		},
+	))
+}
+
+// Example1DB is the database of Example 1.
+func Example1DB() []logic.Atom {
+	return []logic.Atom{logic.NewAtom("person", logic.Constant("bob"))}
+}
+
+// Example2 is the paper's Example 2: p(X,Y) → ∃Z p(Y,Z).
+func Example2() *logic.RuleSet {
+	return logic.NewRuleSet(logic.NewTGD(
+		[]logic.Atom{logic.NewAtom("p", logic.Variable("X"), logic.Variable("Y"))},
+		[]logic.Atom{logic.NewAtom("p", logic.Variable("Y"), logic.Variable("Z"))},
+	))
+}
+
+// Example2DB is the database of Example 2.
+func Example2DB() []logic.Atom {
+	return []logic.Atom{logic.NewAtom("p", logic.Constant("a"), logic.Constant("b"))}
+}
+
+// OntologySL returns a DL-Lite-flavoured ontology as simple-linear TGDs —
+// the paper highlights that SL captures inclusion dependencies and key
+// description logics. Concepts: professor, student, course; roles:
+// teaches, attends, advises.
+func OntologySL() *logic.RuleSet {
+	src := [][2][]logic.Atom{
+		// professor ⊑ ∃teaches
+		{{logic.NewAtom("professor", logic.Variable("X"))},
+			{logic.NewAtom("teaches", logic.Variable("X"), logic.Variable("C"))}},
+		// ∃teaches⁻ ⊑ course
+		{{logic.NewAtom("teaches", logic.Variable("X"), logic.Variable("C"))},
+			{logic.NewAtom("course", logic.Variable("C"))}},
+		// student ⊑ ∃attends
+		{{logic.NewAtom("student", logic.Variable("X"))},
+			{logic.NewAtom("attends", logic.Variable("X"), logic.Variable("C"))}},
+		// ∃attends⁻ ⊑ course
+		{{logic.NewAtom("attends", logic.Variable("X"), logic.Variable("C"))},
+			{logic.NewAtom("course", logic.Variable("C"))}},
+		// ∃advises ⊑ professor
+		{{logic.NewAtom("advises", logic.Variable("X"), logic.Variable("Y"))},
+			{logic.NewAtom("professor", logic.Variable("X"))}},
+		// ∃advises⁻ ⊑ student
+		{{logic.NewAtom("advises", logic.Variable("X"), logic.Variable("Y"))},
+			{logic.NewAtom("student", logic.Variable("Y"))}},
+		// course ⊑ ∃teaches⁻ (every course is taught by someone)
+		{{logic.NewAtom("course", logic.Variable("C"))},
+			{logic.NewAtom("teaches", logic.Variable("P"), logic.Variable("C"))}},
+	}
+	rs := logic.NewRuleSet()
+	for _, bh := range src {
+		rs.Rules = append(rs.Rules, logic.NewTGD(bh[0], bh[1]))
+	}
+	return rs
+}
+
+// OntologyDB is a small ABox for OntologySL.
+func OntologyDB() []logic.Atom {
+	return []logic.Atom{
+		logic.NewAtom("professor", logic.Constant("turing")),
+		logic.NewAtom("student", logic.Constant("ada")),
+		logic.NewAtom("advises", logic.Constant("turing"), logic.Constant("ada")),
+		logic.NewAtom("attends", logic.Constant("ada"), logic.Constant("logic101")),
+	}
+}
+
+// DataExchange returns a weakly-acyclic data-exchange mapping in the style
+// of Fagin et al.: source relations emp/dept are copied into a target
+// schema with invented keys.
+func DataExchange() *logic.RuleSet {
+	rs := logic.NewRuleSet(
+		// emp(Name, DeptName) -> ∃E works(E, D), empName(E, Name), deptName(D, DeptName)
+		logic.NewTGD(
+			[]logic.Atom{logic.NewAtom("emp", logic.Variable("N"), logic.Variable("DN"))},
+			[]logic.Atom{
+				logic.NewAtom("works", logic.Variable("E"), logic.Variable("D")),
+				logic.NewAtom("empName", logic.Variable("E"), logic.Variable("N")),
+				logic.NewAtom("deptName", logic.Variable("D"), logic.Variable("DN")),
+			},
+		),
+		// dept(DeptName, MgrName) -> ∃D,M deptName(D,DeptName), mgr(D,M), empName(M,MgrName)
+		logic.NewTGD(
+			[]logic.Atom{logic.NewAtom("dept", logic.Variable("DN"), logic.Variable("MN"))},
+			[]logic.Atom{
+				logic.NewAtom("deptName", logic.Variable("D"), logic.Variable("DN")),
+				logic.NewAtom("mgr", logic.Variable("D"), logic.Variable("M")),
+				logic.NewAtom("empName", logic.Variable("M"), logic.Variable("MN")),
+			},
+		),
+		// every manager works in the department they manage
+		logic.NewTGD(
+			[]logic.Atom{logic.NewAtom("mgr", logic.Variable("D"), logic.Variable("M"))},
+			[]logic.Atom{logic.NewAtom("works", logic.Variable("M"), logic.Variable("D"))},
+		),
+	)
+	return rs
+}
+
+// DataExchangeDB is a source instance for DataExchange.
+func DataExchangeDB() []logic.Atom {
+	return []logic.Atom{
+		logic.NewAtom("emp", logic.Constant("alice"), logic.Constant("toys")),
+		logic.NewAtom("emp", logic.Constant("bob"), logic.Constant("books")),
+		logic.NewAtom("dept", logic.Constant("toys"), logic.Constant("carol")),
+		logic.NewAtom("dept", logic.Constant("books"), logic.Constant("dan")),
+	}
+}
+
+// RandomInclusionDependencies generates a DL-Lite-flavoured TBox as
+// simple-linear TGDs over nConcepts unary and nRoles binary predicates:
+// concept inclusions, qualified existential restrictions, domain/range
+// axioms and role inclusions (possibly inverse). The paper singles out
+// exactly this fragment as the prominent application of the SL class.
+func RandomInclusionDependencies(rng *rand.Rand, nConcepts, nRoles, nAxioms int) *logic.RuleSet {
+	if nConcepts < 1 {
+		nConcepts = 1
+	}
+	if nRoles < 1 {
+		nRoles = 1
+	}
+	concept := func(i int, t logic.Term) logic.Atom {
+		return logic.Atom{Pred: fmt.Sprintf("c%d", i), Args: []logic.Term{t}}
+	}
+	role := func(i int, s, t logic.Term) logic.Atom {
+		return logic.Atom{Pred: fmt.Sprintf("r%d", i), Args: []logic.Term{s, t}}
+	}
+	x, y := logic.Variable("X"), logic.Variable("Y")
+	rs := logic.NewRuleSet()
+	for i := 0; i < nAxioms; i++ {
+		switch rng.Intn(6) {
+		case 0: // C ⊑ C'
+			rs.Rules = append(rs.Rules, logic.NewTGD(
+				[]logic.Atom{concept(rng.Intn(nConcepts), x)},
+				[]logic.Atom{concept(rng.Intn(nConcepts), x)}))
+		case 1: // C ⊑ ∃R
+			rs.Rules = append(rs.Rules, logic.NewTGD(
+				[]logic.Atom{concept(rng.Intn(nConcepts), x)},
+				[]logic.Atom{role(rng.Intn(nRoles), x, y)}))
+		case 2: // C ⊑ ∃R.C'  (qualified)
+			r := rng.Intn(nRoles)
+			rs.Rules = append(rs.Rules, logic.NewTGD(
+				[]logic.Atom{concept(rng.Intn(nConcepts), x)},
+				[]logic.Atom{role(r, x, y), concept(rng.Intn(nConcepts), y)}))
+		case 3: // domain: ∃R ⊑ C
+			rs.Rules = append(rs.Rules, logic.NewTGD(
+				[]logic.Atom{role(rng.Intn(nRoles), x, y)},
+				[]logic.Atom{concept(rng.Intn(nConcepts), x)}))
+		case 4: // range: ∃R⁻ ⊑ C
+			rs.Rules = append(rs.Rules, logic.NewTGD(
+				[]logic.Atom{role(rng.Intn(nRoles), x, y)},
+				[]logic.Atom{concept(rng.Intn(nConcepts), y)}))
+		default: // role inclusion, possibly inverse
+			s, d := rng.Intn(nRoles), rng.Intn(nRoles)
+			if rng.Intn(2) == 0 {
+				rs.Rules = append(rs.Rules, logic.NewTGD(
+					[]logic.Atom{role(s, x, y)}, []logic.Atom{role(d, x, y)}))
+			} else {
+				rs.Rules = append(rs.Rules, logic.NewTGD(
+					[]logic.Atom{role(s, x, y)}, []logic.Atom{role(d, y, x)}))
+			}
+		}
+	}
+	return rs
+}
+
+// RandomABox generates n ground facts over the schema of the rule set,
+// drawing constants from a pool of size domain.
+func RandomABox(rng *rand.Rand, rs *logic.RuleSet, n, domain int) []logic.Atom {
+	if domain < 1 {
+		domain = 1
+	}
+	schema := rs.Schema()
+	if len(schema) == 0 {
+		return nil
+	}
+	out := make([]logic.Atom, 0, n)
+	for i := 0; i < n; i++ {
+		p := schema[rng.Intn(len(schema))]
+		args := make([]logic.Term, p.Arity)
+		for j := range args {
+			args[j] = logic.Constant(fmt.Sprintf("d%d", rng.Intn(domain)))
+		}
+		out = append(out, logic.Atom{Pred: p.Name, Args: args})
+	}
+	return out
+}
+
+// SLFamily builds the scaling family used in the Theorem 3 (NL) series: a
+// chain of n simple-linear rules r_i: p_i(X,Y) → p_{i+1}(Y,Z), with the
+// last rule optionally closing the cycle back to p_0 (making the set
+// non-terminating).
+func SLFamily(n int, closeCycle bool) *logic.RuleSet {
+	rs := logic.NewRuleSet()
+	for i := 0; i < n; i++ {
+		next := i + 1
+		if i == n-1 {
+			if !closeCycle {
+				break
+			}
+			next = 0
+		}
+		rs.Rules = append(rs.Rules, logic.NewTGD(
+			[]logic.Atom{logic.NewAtom(fmt.Sprintf("p%d", i), logic.Variable("X"), logic.Variable("Y"))},
+			[]logic.Atom{logic.NewAtom(fmt.Sprintf("p%d", next), logic.Variable("Y"), logic.Variable("Z"))},
+		))
+	}
+	if len(rs.Rules) == 0 { // n == 1 && !closeCycle
+		rs.Rules = append(rs.Rules, logic.NewTGD(
+			[]logic.Atom{logic.NewAtom("p0", logic.Variable("X"), logic.Variable("Y"))},
+			[]logic.Atom{logic.NewAtom("p1", logic.Variable("Y"))},
+		))
+	}
+	return rs
+}
+
+// LinearArityFamily builds the Theorem 3 (PSPACE) series: one predicate of
+// arity w and rules that rotate and duplicate variables so that the
+// reachable shape space grows exponentially with w. The returned set is
+// terminating (the shapes never close a dangerous cycle) but forces the
+// decider to explore many shapes.
+func LinearArityFamily(w int) *logic.RuleSet {
+	if w < 2 {
+		w = 2
+	}
+	rs := logic.NewRuleSet()
+	p := func(args ...logic.Term) logic.Atom { return logic.Atom{Pred: "p", Args: args} }
+	vars := make([]logic.Term, w)
+	for i := range vars {
+		vars[i] = logic.Variable(fmt.Sprintf("X%d", i))
+	}
+	// Rotation rule: p(X0,...,Xw-1) -> p(X1,...,Xw-1,X0).
+	rot := make([]logic.Term, w)
+	copy(rot, vars[1:])
+	rot[w-1] = vars[0]
+	rs.Rules = append(rs.Rules, logic.NewTGD([]logic.Atom{p(vars...)}, []logic.Atom{p(rot...)}))
+	// Merge rule: p(X0,X0,X2,...) -> p(X0,X2,...,Z): consumes an equality,
+	// invents a value in the last position. Fresh values never flow back
+	// into position 0, so no dangerous cycle arises.
+	merged := make([]logic.Term, w)
+	merged[0] = vars[0]
+	merged[1] = vars[0]
+	for i := 2; i < w; i++ {
+		merged[i] = vars[i]
+	}
+	out := make([]logic.Term, w)
+	out[0] = vars[0]
+	for i := 2; i < w; i++ {
+		out[i-1] = vars[i]
+	}
+	out[w-1] = logic.Variable("Z")
+	rs.Rules = append(rs.Rules, logic.NewTGD([]logic.Atom{p(merged...)}, []logic.Atom{p(out...)}))
+	return rs
+}
+
+// GuardedArityFamily builds the Theorem 4 scaling series: w guarded rules
+// over a guard predicate of arity w,
+//
+//	g(X0,…,Xw-1), m(Xi) → ∃Z g(X0,…,Z@i,…,Xw-1)      (one rule per i)
+//
+// Each application replaces one m-marked slot with a fresh unmarked value,
+// so the recursion consumes marks and terminates after at most w levels per
+// branch — but the reachable node types record which subset of the guard's
+// slots is still marked, so the type space the decider must traverse grows
+// exponentially with w: the empirical face of the EXPTIME (bounded-arity)
+// bound of Theorem 4.
+func GuardedArityFamily(w int) *logic.RuleSet {
+	if w < 1 {
+		w = 1
+	}
+	rs := logic.NewRuleSet()
+	gvars := make([]logic.Term, w)
+	for i := range gvars {
+		gvars[i] = logic.Variable(fmt.Sprintf("X%d", i))
+	}
+	for i := 0; i < w; i++ {
+		head := make([]logic.Term, w)
+		copy(head, gvars)
+		head[i] = logic.Variable("Z")
+		rs.Rules = append(rs.Rules, logic.NewTGD(
+			[]logic.Atom{{Pred: "g", Args: gvars}, logic.NewAtom("m", gvars[i])},
+			[]logic.Atom{{Pred: "g", Args: head}},
+		))
+	}
+	return rs
+}
