@@ -34,9 +34,12 @@
 package chaseterm
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"chaseterm/internal/acyclicity"
 	"chaseterm/internal/chase"
@@ -165,6 +168,52 @@ func (r *RuleSet) Predicates() []string {
 	return out
 }
 
+// Fingerprint returns a stable content-addressed identity for the rule
+// set: the SHA-256 hex digest of its canonical form. The canonical form
+// renames the variables of every rule to V0, V1, … in order of first
+// occurrence (body before head) and sorts the rendered rules, so the
+// fingerprint is invariant under rule reordering and variable renaming,
+// and deterministic across processes. It is the cache key of the
+// analysis service (internal/service).
+func (r *RuleSet) Fingerprint() string {
+	lines := make([]string, len(r.rs.Rules))
+	for i, t := range r.rs.Rules {
+		lines[i] = canonicalRule(t)
+	}
+	sort.Strings(lines)
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonicalRule renders a TGD with variables renamed to V0, V1, … in
+// order of first occurrence across the body atoms and then the head
+// atoms. Canonical names cannot collide with constants in the rendered
+// form: the renderer single-quotes any constant that starts with an
+// upper-case letter, so a bare V0 is always a variable.
+func canonicalRule(t *logic.TGD) string {
+	ren := make(map[logic.Variable]logic.Variable)
+	next := 0
+	walk := func(atoms []logic.Atom) {
+		for _, a := range atoms {
+			for _, arg := range a.Args {
+				if v, ok := arg.(logic.Variable); ok {
+					if _, done := ren[v]; !done {
+						ren[v] = logic.Variable(fmt.Sprintf("V%d", next))
+						next++
+					}
+				}
+			}
+		}
+	}
+	walk(t.Body)
+	walk(t.Head)
+	return t.Rename(ren).String()
+}
+
 // Internal returns the underlying representation; exposed for the
 // command-line tools and benchmarks living in this module.
 func (r *RuleSet) Internal() *logic.RuleSet { return r.rs }
@@ -246,13 +295,20 @@ type ChaseResult struct {
 	Variant Variant
 	Outcome ChaseOutcome
 	Stats   ChaseStats
-	facts   []string
-	inst    *instance.Instance
+
+	factsOnce sync.Once
+	facts     []string
+	inst      *instance.Instance
 }
 
 // Facts returns the final instance as sorted, rendered atoms. Invented
-// nulls render as z1, z2, …; Skolem terms as f0_Y(bob) etc.
-func (r *ChaseResult) Facts() []string { return r.facts }
+// nulls render as z1, z2, …; Skolem terms as f0_Y(bob) etc. Rendering
+// happens lazily on the first call and is memoized; callers that only
+// inspect Stats or run queries never pay for it.
+func (r *ChaseResult) Facts() []string {
+	r.factsOnce.Do(func() { r.facts = r.inst.Strings() })
+	return r.facts
+}
 
 // Query evaluates a conjunctive query over the chase result and returns
 // the certain answers: the bindings of the answer variables that contain
@@ -359,7 +415,6 @@ func RunChase(db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*Chase
 			TriggersSatisfied: res.Stats.TriggersSatisfied,
 			MaxTermDepth:      int(res.Stats.MaxTermDepth),
 		},
-		facts: res.Instance.Strings(),
 	}
 	switch res.Outcome {
 	case chase.Terminated:
@@ -419,11 +474,21 @@ func DecideTermination(rules *RuleSet, v Variant) (*Verdict, error) {
 	return DecideTerminationOpts(rules, v, DecideOptions{})
 }
 
+// Default budgets used when the corresponding DecideOptions field is
+// zero; exported so callers (and caches keyed on options) can treat an
+// explicit default and an omitted field as the same request.
+const (
+	DefaultMaxShapes    = core.DefaultMaxShapes
+	DefaultMaxNodeTypes = core.DefaultMaxNodeTypes
+)
+
 // DecideOptions bound the decision procedures.
 type DecideOptions struct {
-	// MaxShapes caps the linear decider's abstract-shape space.
+	// MaxShapes caps the linear decider's abstract-shape space
+	// (0 = DefaultMaxShapes).
 	MaxShapes int
-	// MaxNodeTypes caps the guarded decider's node-type space.
+	// MaxNodeTypes caps the guarded decider's node-type space
+	// (0 = DefaultMaxNodeTypes).
 	MaxNodeTypes int
 	// OracleMaxTriggers / OracleMaxFacts bound the fallback critical
 	// chase for general rule sets.

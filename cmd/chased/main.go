@@ -1,0 +1,113 @@
+// Command chased serves chase-termination analysis over HTTP: the
+// decision procedures of "Chase Termination for Guarded Existential
+// Rules" (Calautti, Gottlob, Pieris; PODS 2015) behind a concurrent
+// engine with a content-addressed verdict cache and a worker pool.
+//
+// Usage:
+//
+//	chased [-addr :8080] [-workers N] [-cache-size N] [-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /v1/classify  {"rules": "..."}                     syntactic class + schema
+//	POST /v1/decide    {"rules": "...", "variant": "so"}    all-instance termination verdict
+//	POST /v1/chase     {"rules": "...", "database": "..."}  bounded chase run
+//	POST /v1/batch     {"jobs": [...]}                      fan a job list across the pool
+//	GET  /healthz                                           liveness
+//	GET  /v1/stats                                          cache + latency counters
+//
+// Example:
+//
+//	curl -s localhost:8080/v1/decide -d '{"rules": "person(X) -> hasFather(X,Y), person(Y)."}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"chaseterm/internal/service"
+)
+
+type config struct {
+	addr      string
+	workers   int
+	cacheSize int
+	timeout   time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.IntVar(&cfg.workers, "workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
+	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "verdict cache entries (0 = 1024)")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-job timeout")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: chased [flags]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, cfg, nil); err != nil {
+		log.Fatal("chased: ", err)
+	}
+}
+
+// run starts the engine and serves until ctx is cancelled, then shuts
+// down gracefully. ready, when non-nil, receives the bound address once
+// the listener is up (used by tests binding port 0).
+func run(ctx context.Context, cfg config, ready func(net.Addr)) error {
+	eng := service.New(service.Options{
+		Workers:    cfg.workers,
+		CacheSize:  cfg.cacheSize,
+		JobTimeout: cfg.timeout,
+	})
+	defer eng.Close()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	eff := eng.Config()
+	log.Printf("chased: listening on %s (workers=%d, cache=%d, timeout=%s)",
+		ln.Addr(), eff.Workers, eff.CacheSize, eff.JobTimeout)
+	if ready != nil {
+		ready(ln.Addr())
+	}
+
+	srv := &http.Server{
+		Handler:           service.NewHandler(eng),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		log.Print("chased: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.timeout+5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			return err
+		}
+		if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+			return err
+		}
+		return nil
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// TestServerLifecycle boots the server on an ephemeral port, exercises
+// the health and analysis endpoints end to end, and checks that a
+// context cancellation shuts it down cleanly.
+func TestServerLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, config{
+			addr:    "127.0.0.1:0",
+			timeout: 30 * time.Second,
+		}, func(a net.Addr) { addrs <- a })
+	}()
+
+	var base string
+	select {
+	case a := <-addrs:
+		base = fmt.Sprintf("http://%s", a)
+	case err := <-done:
+		t.Fatalf("server exited before becoming ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(map[string]string{
+		"rules": "person(X) -> hasFather(X,Y), person(Y).",
+	})
+	resp, err = http.Post(base+"/v1/decide", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decide status %d", resp.StatusCode)
+	}
+	var out struct {
+		Terminates  string `json:"terminates"`
+		Fingerprint string `json:"fingerprint"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Terminates != "non-terminating" || len(out.Fingerprint) != 64 {
+		t.Fatalf("decide response %+v", out)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}
+
+func TestRunRejectsBadAddress(t *testing.T) {
+	err := run(context.Background(), config{addr: "127.0.0.1:notaport", timeout: time.Second}, nil)
+	if err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+}

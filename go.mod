@@ -1,0 +1,3 @@
+module chaseterm
+
+go 1.24

@@ -71,22 +71,28 @@ func (v ChaseVariant) String() string {
 	return "semi-oblivious"
 }
 
+// Default budgets applied when the corresponding Options field is zero.
+const (
+	DefaultMaxShapes    = 1_000_000
+	DefaultMaxNodeTypes = 250_000
+)
+
 // Options bound the deciders. Zero values select generous defaults.
 type Options struct {
 	// MaxShapes caps the abstract-shape space of DecideLinear
-	// (default 1e6).
+	// (default DefaultMaxShapes).
 	MaxShapes int
 	// MaxNodeTypes caps the node-type space of DecideGuarded
-	// (default 250k).
+	// (default DefaultMaxNodeTypes).
 	MaxNodeTypes int
 }
 
 func (o Options) withDefaults() Options {
 	if o.MaxShapes == 0 {
-		o.MaxShapes = 1_000_000
+		o.MaxShapes = DefaultMaxShapes
 	}
 	if o.MaxNodeTypes == 0 {
-		o.MaxNodeTypes = 250_000
+		o.MaxNodeTypes = DefaultMaxNodeTypes
 	}
 	return o
 }

@@ -1,0 +1,108 @@
+package service
+
+import (
+	"container/list"
+	"context"
+	"sync"
+)
+
+// verdictCache is a content-addressed result cache: canonical key (rule
+// set fingerprint + variant + options) → computed value. It is bounded
+// by an LRU policy and deduplicates concurrent computations of the same
+// key singleflight-style, so N simultaneous identical requests cost one
+// underlying decision.
+type verdictCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List               // front = most recently used
+	items    map[string]*list.Element // key → element whose Value is *cacheEntry
+	inflight map[string]*flight
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &verdictCache{
+		capacity: capacity,
+		order:    list.New(),
+		items:    make(map[string]*list.Element),
+		inflight: make(map[string]*flight),
+	}
+}
+
+// Do returns the value for key, computing it with fn on a miss. Under
+// concurrent callers fn runs at most once per key at a time: late
+// arrivals wait for the leader's result instead of recomputing. hit
+// reports whether the caller was served without running fn itself
+// (stored value or deduplicated wait). Errors are returned to every
+// waiter of the flight but never cached, so a later request retries.
+// ctx bounds only the waiting; the leader's fn is responsible for its
+// own cancellation.
+func (c *verdictCache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, hit bool, err error) {
+	c.mu.Lock()
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		val = el.Value.(*cacheEntry).val
+		c.mu.Unlock()
+		return val, true, nil
+	}
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.val, f.err == nil, f.err
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	c.inflight[key] = f
+	c.mu.Unlock()
+
+	f.val, f.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if f.err == nil {
+		c.store(key, f.val)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	return f.val, false, f.err
+}
+
+// store inserts under the lock, evicting the least recently used entry
+// when over capacity.
+func (c *verdictCache) store(key string, val any) {
+	if el, ok := c.items[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheEntry).val = val
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of stored entries.
+func (c *verdictCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,141 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCacheDedup starts a second request for a key while the first is
+// still computing and requires exactly one underlying computation.
+func TestCacheDedup(t *testing.T) {
+	c := newVerdictCache(8)
+	var calls atomic.Int64
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, hit, err := c.Do(context.Background(), "k", func() (any, error) {
+			calls.Add(1)
+			close(entered)
+			<-release
+			return 42, nil
+		})
+		if err != nil || hit || v.(int) != 42 {
+			t.Errorf("leader: got (%v, hit=%v, err=%v)", v, hit, err)
+		}
+	}()
+
+	<-entered // the leader is inside fn; the next caller must dedup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, hit, err := c.Do(context.Background(), "k", func() (any, error) {
+			calls.Add(1)
+			return -1, nil
+		})
+		if err != nil || !hit || v.(int) != 42 {
+			t.Errorf("waiter: got (%v, hit=%v, err=%v)", v, hit, err)
+		}
+	}()
+
+	time.Sleep(10 * time.Millisecond) // let the waiter reach the flight
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("underlying computation ran %d times, want 1", n)
+	}
+
+	// A later request is a plain stored hit.
+	v, hit, err := c.Do(context.Background(), "k", func() (any, error) {
+		calls.Add(1)
+		return -1, nil
+	})
+	if err != nil || !hit || v.(int) != 42 || calls.Load() != 1 {
+		t.Fatalf("stored hit: got (%v, hit=%v, err=%v, calls=%d)", v, hit, err, calls.Load())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := newVerdictCache(2)
+	ctx := context.Background()
+	get := func(key string) bool {
+		_, hit, err := c.Do(ctx, key, func() (any, error) { return key, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hit
+	}
+	get("a")
+	get("b")
+	if !get("a") {
+		t.Error("a should still be cached")
+	}
+	get("c") // evicts b (least recently used)
+	if c.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", c.Len())
+	}
+	if get("b") {
+		t.Error("b should have been evicted")
+	}
+	if !get("c") {
+		t.Error("c should still be cached")
+	}
+}
+
+func TestCacheErrorsNotCached(t *testing.T) {
+	c := newVerdictCache(8)
+	ctx := context.Background()
+	boom := errors.New("boom")
+	_, hit, err := c.Do(ctx, "k", func() (any, error) { return nil, boom })
+	if !errors.Is(err, boom) || hit {
+		t.Fatalf("got (hit=%v, err=%v), want the error uncached", hit, err)
+	}
+	v, hit, err := c.Do(ctx, "k", func() (any, error) { return 1, nil })
+	if err != nil || hit || v.(int) != 1 {
+		t.Fatalf("retry after error: got (%v, hit=%v, err=%v)", v, hit, err)
+	}
+}
+
+func TestCacheWaiterHonorsContext(t *testing.T) {
+	c := newVerdictCache(8)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go c.Do(context.Background(), "k", func() (any, error) {
+		close(entered)
+		<-release
+		return 1, nil
+	})
+	<-entered
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, _, err := c.Do(ctx, "k", func() (any, error) { return 2, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("waiter got %v, want deadline exceeded", err)
+	}
+}
+
+func TestCacheConcurrentDistinctKeys(t *testing.T) {
+	c := newVerdictCache(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%d", i%4)
+			v, _, err := c.Do(context.Background(), key, func() (any, error) { return key, nil })
+			if err != nil || v.(string) != key {
+				t.Errorf("key %s: got (%v, %v)", key, v, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

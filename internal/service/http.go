@@ -1,0 +1,109 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; rule sets are text and even the
+// paper's hardest instances are tiny, so 8 MiB is generous.
+const maxBodyBytes = 8 << 20
+
+// NewHandler serves the engine over HTTP:
+//
+//	POST /v1/classify  {"rules": "..."}
+//	POST /v1/decide    {"rules": "...", "variant": "so"}
+//	POST /v1/chase     {"rules": "...", "database": "...", "variant": "r"}
+//	POST /v1/batch     {"jobs": [{"kind": "decide", ...}, ...]}
+//	GET  /healthz
+//	GET  /v1/stats
+//
+// Status codes: client mistakes 400, oversized bodies 413, analyses
+// that exhausted their search budget 422, client hang-ups 499, engine
+// shutdown 503, job timeouts 504. All error bodies are
+// {"error": "..."}.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/classify", jobHandler(e, KindClassify))
+	mux.HandleFunc("POST /v1/decide", jobHandler(e, KindDecide))
+	mux.HandleFunc("POST /v1/chase", jobHandler(e, KindChase))
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		var body struct {
+			Jobs []Request `json:"jobs"`
+		}
+		if !decodeJSON(w, r, &body) {
+			return
+		}
+		resps, err := e.Batch(r.Context(), body.Jobs)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"results": resps})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, e.StatsSnapshot())
+	})
+	return mux
+}
+
+func jobHandler(e *Engine, kind Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if !decodeJSON(w, r, &req) {
+			return
+		}
+		req.Kind = kind
+		resp, err := e.Do(r.Context(), req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeJSON(w, status, map[string]string{"error": "malformed request: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrUnprocessable):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // nothing to do about a failed write
+}

@@ -1,0 +1,311 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"chaseterm"
+)
+
+func newTestServer(t *testing.T, opts Options) *httptest.Server {
+	t.Helper()
+	eng := New(opts)
+	srv := httptest.NewServer(NewHandler(eng))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHealthz(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["status"] != "ok" {
+		t.Fatalf("body %v", out)
+	}
+}
+
+func TestClassifyEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	resp, data := postJSON(t, srv.URL+"/v1/classify", Request{
+		Rules: `gate(X,Y), live(X) -> out(Y,Z), live(Z).
+		        out(Y,Z) -> gate(Y,Z).`,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out Response
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Class != "guarded" || out.NumRules == nil || *out.NumRules != 2 ||
+		out.MaxArity == nil || *out.MaxArity != 2 {
+		t.Errorf("classify got %+v", out)
+	}
+	want := []string{"gate/2", "live/1", "out/2"}
+	if len(out.Predicates) != len(want) {
+		t.Fatalf("predicates %v, want %v", out.Predicates, want)
+	}
+	for i := range want {
+		if out.Predicates[i] != want[i] {
+			t.Fatalf("predicates %v, want %v", out.Predicates, want)
+		}
+	}
+	if len(out.Fingerprint) != 64 {
+		t.Errorf("fingerprint %q", out.Fingerprint)
+	}
+}
+
+func TestDecideEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	resp, data := postJSON(t, srv.URL+"/v1/decide", Request{Rules: example1, Variant: "so"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out Response
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Terminates != "non-terminating" || out.Class != "simple-linear" {
+		t.Errorf("decide got %+v", out)
+	}
+	if out.Method == "" || out.Witness == "" || out.Cached {
+		t.Errorf("decide metadata wrong: %+v", out)
+	}
+
+	// The same request again is a cache hit.
+	_, data = postJSON(t, srv.URL+"/v1/decide", Request{Rules: example1, Variant: "so"})
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cached {
+		t.Error("repeat decide not served from cache")
+	}
+}
+
+func TestChaseEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	rules := `professor(X) -> teaches(X,C).
+	          teaches(X,C) -> course(C).`
+	resp, data := postJSON(t, srv.URL+"/v1/chase", Request{
+		Rules:       rules,
+		Database:    `professor(turing).`,
+		Variant:     "r",
+		ReturnFacts: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out Response
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Outcome != "terminated" || out.Chase == nil || out.Chase.FactsAdded == 0 {
+		t.Errorf("chase got %+v", out)
+	}
+	found := false
+	for _, f := range out.Facts {
+		if strings.HasPrefix(f, "course(") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chase facts missing derived course atom: %v", out.Facts)
+	}
+
+	// Empty database chases the critical instance (divergent here, so a
+	// tight budget must report budget-exceeded, not hang).
+	resp, data = postJSON(t, srv.URL+"/v1/chase", Request{
+		Rules:       example1,
+		Variant:     "so",
+		MaxTriggers: 100,
+		MaxFacts:    100,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("critical chase status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Outcome == "terminated" {
+		t.Errorf("critical chase of Example 1 cannot terminate: %+v", out)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 4})
+	jobs := []Request{
+		{Kind: KindClassify, Rules: `p(X) -> q(X).`},
+		{Kind: KindDecide, Rules: example1, Variant: "so"},
+		{Kind: KindDecide, Rules: `broken`},
+		{Kind: KindChase, Rules: `p(X) -> q(X).`, Database: `p(a).`},
+	}
+	resp, data := postJSON(t, srv.URL+"/v1/batch", map[string]any{"jobs": jobs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Results []Response `json:"results"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != len(jobs) {
+		t.Fatalf("got %d results, want %d", len(out.Results), len(jobs))
+	}
+	if out.Results[0].Class != "simple-linear" {
+		t.Errorf("result 0: %+v", out.Results[0])
+	}
+	if out.Results[1].Terminates != "non-terminating" {
+		t.Errorf("result 1: %+v", out.Results[1])
+	}
+	if out.Results[2].Error == "" {
+		t.Errorf("result 2 should carry the parse error: %+v", out.Results[2])
+	}
+	if out.Results[3].Outcome != "terminated" {
+		t.Errorf("result 3: %+v", out.Results[3])
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	postJSON(t, srv.URL+"/v1/decide", Request{Rules: example1})
+	postJSON(t, srv.URL+"/v1/decide", Request{Rules: example1})
+	resp, err := http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.JobsServed != 2 || snap.CacheMisses != 1 || snap.CacheHits != 1 || snap.CacheEntries != 1 {
+		t.Errorf("snapshot %+v", snap)
+	}
+	if snap.P50Millis < 0 || snap.P99Millis < snap.P50Millis {
+		t.Errorf("latency quantiles inconsistent: %+v", snap)
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	slow := make(chan struct{})
+	defer close(slow)
+	srv := newTestServer(t, Options{
+		Workers:    1,
+		JobTimeout: 30 * time.Millisecond,
+		DecideFunc: func(*chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
+			<-slow
+			return nil, nil
+		},
+	})
+
+	// Malformed JSON → 400.
+	resp, err := http.Post(srv.URL+"/v1/decide", "application/json", strings.NewReader(`{"rules": 5`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed JSON: status %d, want 400", resp.StatusCode)
+	}
+
+	// Bad rules → 400 with a JSON error body.
+	resp, data := postJSON(t, srv.URL+"/v1/decide", Request{Rules: `nope nope`})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad rules: status %d, want 400", resp.StatusCode)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(data, &out); err != nil || out["error"] == "" {
+		t.Errorf("bad rules: error body %s", data)
+	}
+
+	// Unknown field → 400 (DisallowUnknownFields guards against typos).
+	resp, _ = postJSON(t, srv.URL+"/v1/decide", map[string]any{"rules": example1, "varient": "so"})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+
+	// Wrong method → 405.
+	resp, err = http.Get(srv.URL + "/v1/decide")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on decide: status %d, want 405", resp.StatusCode)
+	}
+
+	// Job timeout → 504.
+	resp, data = postJSON(t, srv.URL+"/v1/decide", Request{Rules: example1})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Errorf("timeout: status %d (%s), want 504", resp.StatusCode, data)
+	}
+}
+
+func TestHTTPOversizedBodyMapsTo413(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	// Valid JSON whose string payload crosses the byte cap, so the
+	// decoder actually reads past MaxBytesReader's limit.
+	big := `{"rules": "` + strings.Repeat("x", maxBodyBytes+1) + `"}`
+	resp, err := http.Post(srv.URL+"/v1/classify", "application/json", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: status %d, want 413", resp.StatusCode)
+	}
+}
+
+func TestHTTPBudgetExceededMapsTo422(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	resp, data := postJSON(t, srv.URL+"/v1/decide", Request{
+		Rules: `gate(X,Y), live(X) -> out(Y,Z), live(Z).
+		        out(Y,Z) -> gate(Y,Z).`,
+		MaxNodeTypes: 1,
+	})
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Errorf("budget exceeded: status %d (%s), want 422", resp.StatusCode, data)
+	}
+	var out map[string]string
+	if err := json.Unmarshal(data, &out); err != nil || out["error"] == "" {
+		t.Errorf("budget exceeded: error body %s", data)
+	}
+}

@@ -1,0 +1,111 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// ErrClosed is returned for work submitted after the pool shut down.
+var ErrClosed = errors.New("service: engine closed")
+
+// workerPool bounds the number of decision procedures and chase runs
+// executing at once. Callers block in Do until a worker picks up the
+// job and finishes it (or the context expires), so the pool also acts
+// as admission control: with W workers at most W analyses run
+// concurrently no matter how many requests are in flight.
+type workerPool struct {
+	jobs chan poolJob
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	closeOnce sync.Once
+}
+
+type poolJob struct {
+	ctx context.Context
+	fn  func(context.Context) (any, error)
+	res chan outcome
+}
+
+type outcome struct {
+	val any
+	err error
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &workerPool{
+		jobs: make(chan poolJob),
+		stop: make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *workerPool) worker() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case j := <-p.jobs:
+			p.run(j)
+		}
+	}
+}
+
+// run executes one job with cancellation. The function runs in an inner
+// goroutine so that an expired context unblocks the caller immediately;
+// the worker then stays on the job until the computation actually winds
+// down — releasing it early would let abandoned analyses pile up past
+// the W-worker admission bound. Every analysis in this module is
+// budget-bounded (trigger/fact/shape/node-type caps), so the wait
+// terminates.
+func (p *workerPool) run(j poolJob) {
+	if err := j.ctx.Err(); err != nil {
+		j.res <- outcome{err: err}
+		return
+	}
+	inner := make(chan outcome, 1)
+	go func() {
+		v, err := j.fn(j.ctx)
+		inner <- outcome{val: v, err: err}
+	}()
+	select {
+	case o := <-inner:
+		j.res <- o
+	case <-j.ctx.Done():
+		j.res <- outcome{err: j.ctx.Err()}
+		<-inner
+	}
+}
+
+// Do submits fn and waits for its result. It returns ctx.Err() if the
+// context expires while queued or running, and ErrClosed if the pool
+// shut down before the job was picked up.
+func (p *workerPool) Do(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	j := poolJob{ctx: ctx, fn: fn, res: make(chan outcome, 1)}
+	select {
+	case p.jobs <- j:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-p.stop:
+		return nil, ErrClosed
+	}
+	o := <-j.res
+	return o.val, o.err
+}
+
+// Close stops the workers. Jobs already picked up finish; queued callers
+// that have not been picked up receive ErrClosed from Do.
+func (p *workerPool) Close() {
+	p.closeOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}

@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := newWorkerPool(2)
+	defer p.Close()
+	v, err := p.Do(context.Background(), func(context.Context) (any, error) { return 7, nil })
+	if err != nil || v.(int) != 7 {
+		t.Fatalf("got (%v, %v)", v, err)
+	}
+}
+
+// TestPoolTimeoutCancelsCleanly submits a job that blocks until its
+// context is cancelled and requires Do to return the deadline error
+// promptly, with the job function observing the cancellation.
+func TestPoolTimeoutCancelsCleanly(t *testing.T) {
+	p := newWorkerPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	observed := make(chan struct{})
+	start := time.Now()
+	_, err := p.Do(ctx, func(jctx context.Context) (any, error) {
+		<-jctx.Done()
+		close(observed)
+		return nil, jctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("Do took %v to observe a 30ms timeout", d)
+	}
+	select {
+	case <-observed:
+	case <-time.After(2 * time.Second):
+		t.Fatal("job function never observed the cancellation")
+	}
+}
+
+// TestPoolBoundsConcurrency checks the admission-control property: with
+// W workers no more than W jobs run at once, whatever the offered load.
+func TestPoolBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	p := newWorkerPool(workers)
+	defer p.Close()
+	var running, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func(context.Context) (any, error) {
+				n := running.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				running.Add(-1)
+				return nil, nil
+			})
+		}()
+	}
+	wg.Wait()
+	if got := peak.Load(); got > workers {
+		t.Fatalf("observed %d concurrent jobs, want <= %d", got, workers)
+	}
+}
+
+// TestPoolTimedOutJobStillOccupiesWorker pins the admission-control
+// contract for abandoned work: a job whose caller timed out keeps its
+// worker until the computation actually finishes, so abandoned analyses
+// can never run beyond the W-worker bound.
+func TestPoolTimedOutJobStillOccupiesWorker(t *testing.T) {
+	p := newWorkerPool(1)
+	defer p.Close()
+	blocker := make(chan struct{})
+	ctx1, cancel1 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel1()
+	_, err := p.Do(ctx1, func(context.Context) (any, error) {
+		<-blocker // ignores cancellation, like a mid-decision analysis
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("first job: got %v, want deadline exceeded", err)
+	}
+	// The only worker must still be tied up by the abandoned job.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	_, err = p.Do(ctx2, func(context.Context) (any, error) { return 1, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second job ran while the worker should be occupied (err=%v)", err)
+	}
+	close(blocker) // let the abandoned computation wind down
+	v, err := p.Do(context.Background(), func(context.Context) (any, error) { return 2, nil })
+	if err != nil || v.(int) != 2 {
+		t.Fatalf("worker never came back: (%v, %v)", v, err)
+	}
+}
+
+func TestPoolClosedRejectsWork(t *testing.T) {
+	p := newWorkerPool(1)
+	p.Close()
+	_, err := p.Do(context.Background(), func(context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestPoolQueuedCallerHonorsContext(t *testing.T) {
+	p := newWorkerPool(1)
+	defer p.Close()
+	block := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) (any, error) {
+		<-block
+		return nil, nil
+	})
+	defer close(block)
+	time.Sleep(10 * time.Millisecond) // occupy the only worker
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	_, err := p.Do(ctx, func(context.Context) (any, error) { return nil, nil })
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued caller got %v, want deadline exceeded", err)
+	}
+}

@@ -1,0 +1,408 @@
+// Package service is the concurrent termination-analysis engine behind
+// cmd/chased: a content-addressed verdict cache with singleflight
+// deduplication, a worker-pool executor with per-job timeouts, and the
+// JSON request/response model served over HTTP by NewHandler.
+//
+// The decision procedures of the paper are expensive by nature (PSPACE-
+// complete for linear rules, 2EXPTIME-complete for guarded ones), so the
+// engine amortizes them: identical rule sets are recognized by their
+// canonical fingerprint (RuleSet.Fingerprint), verdicts are cached, and
+// N concurrent identical requests cost a single decision.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"chaseterm"
+)
+
+// ErrBadRequest wraps client errors (malformed rules, unknown variant,
+// unknown job kind); the HTTP layer maps it to 400.
+var ErrBadRequest = errors.New("bad request")
+
+// ErrUnprocessable wraps analyses that ran but could not finish within
+// their search-space budgets (e.g. a shape or node-type cap from the
+// request, or the library default, was exceeded). These are a property
+// of the submitted instance, not a server fault; the HTTP layer maps
+// them to 422.
+var ErrUnprocessable = errors.New("analysis failed")
+
+// maxRequestBudget caps every client-supplied search budget. Workers
+// stay occupied until a job's computation winds down, so an absurd
+// budget (say 2e9 facts) would otherwise let one request pin a worker
+// for hours; the cap keeps "budget-bounded" meaning "bounded on a
+// human timescale". It sits well above every library default (1e6
+// facts/triggers/shapes, 250k node types).
+const maxRequestBudget = 10_000_000
+
+// Kind selects the analysis a Job runs.
+type Kind string
+
+const (
+	KindClassify Kind = "classify"
+	KindDecide   Kind = "decide"
+	KindChase    Kind = "chase"
+)
+
+// Request is one analysis job. Kind is implied by the HTTP endpoint for
+// the single-job routes and required per job in a batch.
+type Request struct {
+	Kind  Kind   `json:"kind,omitempty"`
+	Rules string `json:"rules"`
+	// Variant applies to decide and chase jobs; empty means
+	// semi-oblivious, the variant the paper's exact procedures target.
+	Variant string `json:"variant,omitempty"`
+	// Database holds ground facts for chase jobs; empty means chase the
+	// critical instance of the rule set.
+	Database string `json:"database,omitempty"`
+
+	// Decide budgets (zero = library defaults).
+	MaxShapes    int `json:"maxShapes,omitempty"`
+	MaxNodeTypes int `json:"maxNodeTypes,omitempty"`
+
+	// Chase budgets (zero = library defaults).
+	MaxTriggers int `json:"maxTriggers,omitempty"`
+	MaxFacts    int `json:"maxFacts,omitempty"`
+	MaxDepth    int `json:"maxDepth,omitempty"`
+	// ReturnFacts includes the final instance in a chase response;
+	// off by default because instances can be large.
+	ReturnFacts bool `json:"returnFacts,omitempty"`
+}
+
+// Response is the result of one job. Exactly the fields relevant to the
+// job's kind are populated; Error is set instead when a batch entry
+// fails (single-job routes report errors at the HTTP level).
+type Response struct {
+	Kind        Kind   `json:"kind"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Error       string `json:"error,omitempty"`
+
+	// classify. The numeric fields are pointers so that a legitimate
+	// zero (a nullary-predicate schema has MaxArity 0) is emitted
+	// rather than dropped by omitempty: present ⇔ meaningful.
+	Class      string   `json:"class,omitempty"`
+	NumRules   *int     `json:"numRules,omitempty"`
+	MaxArity   *int     `json:"maxArity,omitempty"`
+	Predicates []string `json:"predicates,omitempty"`
+
+	// decide
+	Terminates  string `json:"terminates,omitempty"`
+	Method      string `json:"method,omitempty"`
+	Witness     string `json:"witness,omitempty"`
+	SearchSpace *int   `json:"searchSpace,omitempty"`
+	// Cached reports that the verdict came from the cache (stored entry
+	// or a deduplicated concurrent flight).
+	Cached bool `json:"cached,omitempty"`
+
+	// chase
+	Outcome string      `json:"outcome,omitempty"`
+	Chase   *ChaseStats `json:"chaseStats,omitempty"`
+	Facts   []string    `json:"facts,omitempty"`
+}
+
+// ChaseStats mirrors chaseterm.ChaseStats with JSON tags.
+type ChaseStats struct {
+	InitialFacts      int `json:"initialFacts"`
+	FactsAdded        int `json:"factsAdded"`
+	TriggersApplied   int `json:"triggersApplied"`
+	TriggersNoop      int `json:"triggersNoop"`
+	TriggersSatisfied int `json:"triggersSatisfied"`
+	MaxTermDepth      int `json:"maxTermDepth"`
+}
+
+// Options configure an Engine; zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Workers bounds concurrently running analyses (default GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the verdict cache entry count (default 1024).
+	CacheSize int
+	// JobTimeout bounds one job end to end, queue wait included
+	// (default 30s).
+	JobTimeout time.Duration
+	// MaxBatch bounds jobs per Batch call (default 256).
+	MaxBatch int
+	// DecideFunc overrides the decision procedure — for tests and
+	// instrumentation wrappers. Nil means chaseterm.DecideTerminationOpts.
+	DecideFunc func(*chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
+}
+
+// Engine runs analysis jobs concurrently with caching and admission
+// control. Create with New, release with Close.
+type Engine struct {
+	opts   Options
+	cache  *verdictCache
+	pool   *workerPool
+	stats  *Stats
+	decide func(*chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
+}
+
+// New builds an Engine and starts its workers.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.CacheSize <= 0 {
+		opts.CacheSize = 1024
+	}
+	if opts.JobTimeout <= 0 {
+		opts.JobTimeout = 30 * time.Second
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 256
+	}
+	decide := opts.DecideFunc
+	if decide == nil {
+		decide = chaseterm.DecideTerminationOpts
+	}
+	return &Engine{
+		opts:   opts,
+		cache:  newVerdictCache(opts.CacheSize),
+		pool:   newWorkerPool(opts.Workers),
+		stats:  newStats(),
+		decide: decide,
+	}
+}
+
+// Close stops the worker pool; in-flight jobs finish first.
+func (e *Engine) Close() { e.pool.Close() }
+
+// Config returns the effective options after defaulting — what the
+// engine actually runs with, for logging and diagnostics.
+func (e *Engine) Config() Options { return e.opts }
+
+// Stats returns the live counters (also served as GET /v1/stats).
+func (e *Engine) Stats() *Stats { return e.stats }
+
+// StatsSnapshot captures the counters for serialization.
+func (e *Engine) StatsSnapshot() Snapshot { return e.stats.snapshot(e.cache.Len()) }
+
+// Do runs one job to completion and returns its response. Client
+// mistakes are reported as ErrBadRequest wrappers; an expired per-job
+// timeout or caller context surfaces as the context error.
+func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+	e.stats.inFlight.Add(1)
+	start := time.Now()
+	resp, err := e.dispatch(ctx, req)
+	e.stats.inFlight.Add(-1)
+	e.stats.observe(time.Since(start), err != nil)
+	return resp, err
+}
+
+func (e *Engine) dispatch(ctx context.Context, req Request) (*Response, error) {
+	rules, err := chaseterm.ParseRules(req.Rules)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if err := checkBudgets(req); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, e.opts.JobTimeout)
+	defer cancel()
+	switch req.Kind {
+	case KindClassify:
+		return e.doClassify(ctx, rules)
+	case KindDecide:
+		return e.doDecide(ctx, req, rules)
+	case KindChase:
+		return e.doChase(ctx, req, rules)
+	default:
+		return nil, fmt.Errorf("%w: unknown job kind %q", ErrBadRequest, req.Kind)
+	}
+}
+
+// doClassify answers inline: classification is a pure syntactic pass
+// over the already-parsed rules, far too cheap to be worth a worker
+// slot or the risk of queueing behind a heavy decision.
+func (e *Engine) doClassify(_ context.Context, rules *chaseterm.RuleSet) (*Response, error) {
+	return &Response{
+		Kind:        KindClassify,
+		Fingerprint: rules.Fingerprint(),
+		Class:       rules.Classify().String(),
+		NumRules:    intp(rules.NumRules()),
+		MaxArity:    intp(rules.MaxArity()),
+		Predicates:  rules.Predicates(),
+	}, nil
+}
+
+func intp(v int) *int { return &v }
+
+func (e *Engine) doDecide(ctx context.Context, req Request, rules *chaseterm.RuleSet) (*Response, error) {
+	variant, err := parseVariant(req.Variant)
+	if err != nil {
+		return nil, err
+	}
+	// Normalize budgets before keying: an explicitly spelled-out
+	// default must hit the same cache entry as an omitted one.
+	shapes, nodeTypes := req.MaxShapes, req.MaxNodeTypes
+	if shapes == chaseterm.DefaultMaxShapes {
+		shapes = 0
+	}
+	if nodeTypes == chaseterm.DefaultMaxNodeTypes {
+		nodeTypes = 0
+	}
+	fp := rules.Fingerprint()
+	key := fmt.Sprintf("decide|%s|%s|%d|%d", fp, variant, shapes, nodeTypes)
+	val, hit, err := e.cache.Do(ctx, key, func() (any, error) {
+		// The flight is shared: deduplicated waiters ride on this one
+		// computation, so it must not die with the leader's request.
+		// Detach from the caller's cancellation and give the flight its
+		// own full JobTimeout; each waiter still honors its own context
+		// while waiting.
+		fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.opts.JobTimeout)
+		defer cancel()
+		return e.pool.Do(fctx, func(context.Context) (any, error) {
+			return e.decide(rules, variant, chaseterm.DecideOptions{
+				MaxShapes:    shapes,
+				MaxNodeTypes: nodeTypes,
+			})
+		})
+	})
+	if err != nil {
+		return nil, wrapExecErr(err)
+	}
+	if hit {
+		e.stats.cacheHits.Add(1)
+	} else {
+		e.stats.cacheMisses.Add(1)
+	}
+	verdict := val.(*chaseterm.Verdict)
+	return &Response{
+		Kind:        KindDecide,
+		Fingerprint: fp,
+		Cached:      hit,
+		Class:       verdict.Class.String(),
+		Terminates:  verdict.Terminates.String(),
+		Method:      verdict.Method,
+		Witness:     verdict.Witness,
+		SearchSpace: intp(verdict.SearchSpace),
+	}, nil
+}
+
+func (e *Engine) doChase(ctx context.Context, req Request, rules *chaseterm.RuleSet) (*Response, error) {
+	variant, err := parseVariant(req.Variant)
+	if err != nil {
+		return nil, err
+	}
+	var db *chaseterm.Database
+	if strings.TrimSpace(req.Database) == "" {
+		db = chaseterm.CriticalDatabase(rules)
+	} else if db, err = chaseterm.ParseDatabase(req.Database); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	val, err := e.pool.Do(ctx, func(context.Context) (any, error) {
+		res, err := chaseterm.RunChase(db, rules, variant, chaseterm.ChaseOptions{
+			MaxTriggers: req.MaxTriggers,
+			MaxFacts:    req.MaxFacts,
+			MaxDepth:    req.MaxDepth,
+		})
+		if err == nil && req.ReturnFacts {
+			// Rendering millions of facts is real work; do it inside
+			// the worker slot so it counts against admission control.
+			res.Facts()
+		}
+		return res, err
+	})
+	if err != nil {
+		return nil, wrapExecErr(err)
+	}
+	res := val.(*chaseterm.ChaseResult)
+	resp := &Response{
+		Kind:        KindChase,
+		Fingerprint: rules.Fingerprint(),
+		Outcome:     res.Outcome.String(),
+		Chase: &ChaseStats{
+			InitialFacts:      res.Stats.InitialFacts,
+			FactsAdded:        res.Stats.FactsAdded,
+			TriggersApplied:   res.Stats.TriggersApplied,
+			TriggersNoop:      res.Stats.TriggersNoop,
+			TriggersSatisfied: res.Stats.TriggersSatisfied,
+			MaxTermDepth:      res.Stats.MaxTermDepth,
+		},
+	}
+	if req.ReturnFacts {
+		resp.Facts = res.Facts()
+	}
+	return resp, nil
+}
+
+// Batch runs the jobs across the worker pool and returns responses in
+// input order. Per-job failures are reported inline via Response.Error;
+// the call itself fails only for client mistakes at the batch level.
+func (e *Engine) Batch(ctx context.Context, reqs []Request) ([]*Response, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if len(reqs) > e.opts.MaxBatch {
+		return nil, fmt.Errorf("%w: batch of %d exceeds the limit of %d", ErrBadRequest, len(reqs), e.opts.MaxBatch)
+	}
+	out := make([]*Response, len(reqs))
+	var wg sync.WaitGroup
+	for i, req := range reqs {
+		wg.Add(1)
+		go func(i int, req Request) {
+			defer wg.Done()
+			resp, err := e.Do(ctx, req)
+			if err != nil {
+				resp = &Response{Kind: req.Kind, Error: err.Error()}
+			}
+			out[i] = resp
+		}(i, req)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// checkBudgets rejects out-of-range search budgets up front (zero means
+// the library default and is always fine).
+func checkBudgets(req Request) error {
+	budgets := []struct {
+		name string
+		val  int
+	}{
+		{"maxShapes", req.MaxShapes},
+		{"maxNodeTypes", req.MaxNodeTypes},
+		{"maxTriggers", req.MaxTriggers},
+		{"maxFacts", req.MaxFacts},
+		{"maxDepth", req.MaxDepth},
+	}
+	for _, b := range budgets {
+		if b.val < 0 || b.val > maxRequestBudget {
+			return fmt.Errorf("%w: %s must be between 0 and %d, got %d",
+				ErrBadRequest, b.name, maxRequestBudget, b.val)
+		}
+	}
+	return nil
+}
+
+// wrapExecErr classifies an execution failure: transport conditions
+// (timeouts, shutdown) and request mistakes pass through; everything
+// else came out of an analysis that ran and gave up, which is the
+// instance's fault, not the server's.
+func wrapExecErr(err error) error {
+	if err == nil ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, ErrClosed) ||
+		errors.Is(err, ErrBadRequest) {
+		return err
+	}
+	return fmt.Errorf("%w: %v", ErrUnprocessable, err)
+}
+
+func parseVariant(s string) (chaseterm.Variant, error) {
+	if s == "" {
+		return chaseterm.SemiOblivious, nil
+	}
+	v, err := chaseterm.ParseVariant(s)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	return v, nil
+}

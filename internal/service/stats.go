@@ -1,0 +1,127 @@
+package service
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats aggregates service-level counters. All methods are safe for
+// concurrent use.
+type Stats struct {
+	start time.Time
+
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	jobsServed  atomic.Int64
+	jobsFailed  atomic.Int64
+	inFlight    atomic.Int64
+
+	lat latencyWindow
+}
+
+func newStats() *Stats {
+	s := &Stats{start: time.Now()}
+	s.lat.init(1024)
+	return s
+}
+
+// Snapshot is the JSON shape served by GET /v1/stats.
+type Snapshot struct {
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	CacheHits     int64   `json:"cacheHits"`
+	CacheMisses   int64   `json:"cacheMisses"`
+	CacheEntries  int     `json:"cacheEntries"`
+	InFlight      int64   `json:"inFlight"`
+	JobsServed    int64   `json:"jobsServed"`
+	JobsFailed    int64   `json:"jobsFailed"`
+	P50Millis     float64 `json:"p50Millis"`
+	P99Millis     float64 `json:"p99Millis"`
+}
+
+// latencyWindow keeps the most recent N job latencies in a ring and
+// reports percentiles over that window. A fixed window keeps the
+// quantiles fresh under sustained traffic and bounds memory.
+type latencyWindow struct {
+	mu   sync.Mutex
+	ring []time.Duration
+	next int
+	full bool
+}
+
+func (w *latencyWindow) init(size int) { w.ring = make([]time.Duration, size) }
+
+func (w *latencyWindow) record(d time.Duration) {
+	w.mu.Lock()
+	w.ring[w.next] = d
+	w.next++
+	if w.next == len(w.ring) {
+		w.next = 0
+		w.full = true
+	}
+	w.mu.Unlock()
+}
+
+// quantiles returns the p50 and p99 of the current window (zeros when
+// nothing has been recorded yet).
+func (w *latencyWindow) quantiles() (p50, p99 time.Duration) {
+	w.mu.Lock()
+	n := w.next
+	if w.full {
+		n = len(w.ring)
+	}
+	sample := make([]time.Duration, n)
+	copy(sample, w.ring[:n])
+	w.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	idx := func(q float64) int {
+		i := int(q * float64(n-1))
+		if i < 0 {
+			i = 0
+		}
+		if i >= n {
+			i = n - 1
+		}
+		return i
+	}
+	return sample[idx(0.50)], sample[idx(0.99)]
+}
+
+func (s *Stats) observe(d time.Duration, failed bool) {
+	s.jobsServed.Add(1)
+	if failed {
+		s.jobsFailed.Add(1)
+	}
+	s.lat.record(d)
+}
+
+// InFlight returns the number of requests currently inside the engine,
+// including those waiting for a worker or a deduplicated flight.
+func (s *Stats) InFlight() int64 { return s.inFlight.Load() }
+
+// CacheHits returns the number of requests served from the verdict
+// cache, counting singleflight-deduplicated waiters as hits.
+func (s *Stats) CacheHits() int64 { return s.cacheHits.Load() }
+
+// CacheMisses returns the number of requests that ran an underlying
+// decision.
+func (s *Stats) CacheMisses() int64 { return s.cacheMisses.Load() }
+
+func (s *Stats) snapshot(cacheEntries int) Snapshot {
+	p50, p99 := s.lat.quantiles()
+	return Snapshot{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		CacheHits:     s.cacheHits.Load(),
+		CacheMisses:   s.cacheMisses.Load(),
+		CacheEntries:  cacheEntries,
+		InFlight:      s.inFlight.Load(),
+		JobsServed:    s.jobsServed.Load(),
+		JobsFailed:    s.jobsFailed.Load(),
+		P50Millis:     float64(p50) / float64(time.Millisecond),
+		P99Millis:     float64(p99) / float64(time.Millisecond),
+	}
+}
