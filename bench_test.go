@@ -5,6 +5,7 @@
 package chaseterm
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -38,6 +39,34 @@ func BenchmarkE1_Example1Chase(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkChaseCancelOverhead isolates what the cooperative-
+// cancellation check costs the chase hot loop: the same divergent
+// 10k-trigger run under a background context (Done() is nil, so the
+// checks short-circuit) and under a live cancelable context (the
+// Done channel is polled every 1024 applications). The two timings
+// should be indistinguishable.
+func BenchmarkChaseCancelOverhead(b *testing.B) {
+	rules := workload.Example1()
+	db := workload.Example1DB()
+	opt := chase.Options{MaxTriggers: 10_000, MaxFacts: 1_000_000}
+	b.Run("background", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := chase.RunFromAtomsContext(context.Background(), db, rules, chase.SemiOblivious, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cancelable", func(b *testing.B) {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		for i := 0; i < b.N; i++ {
+			if _, err := chase.RunFromAtomsContext(ctx, db, rules, chase.SemiOblivious, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkE2_Example2Decide: the exact decision on Example 2.

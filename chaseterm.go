@@ -34,6 +34,7 @@
 package chaseterm
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -266,10 +267,14 @@ const (
 	BudgetExceeded
 	// DepthExceeded: an invented term exceeded Options.MaxDepth.
 	DepthExceeded
+	// Canceled: the context passed to RunChaseContext fired before the
+	// run finished. RunChaseContext returns the partial result (stats up
+	// to the stopping point) together with the context's error.
+	Canceled
 )
 
 func (o ChaseOutcome) String() string {
-	return [...]string{"terminated", "budget-exceeded", "depth-exceeded"}[o]
+	return [...]string{"terminated", "budget-exceeded", "depth-exceeded", "canceled"}[o]
 }
 
 // ChaseOptions bound a chase run; the zero value means generous defaults
@@ -396,12 +401,21 @@ func (r *ChaseResult) Holds(body string) (bool, error) {
 // RunChase executes the selected chase variant on the database and returns
 // the result. A Terminated outcome yields a universal model.
 func RunChase(db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*ChaseResult, error) {
-	res, err := chase.RunFromAtoms(db.atoms, rules.rs, v.engine(), chase.Options{
+	return RunChaseContext(context.Background(), db, rules, v, opt)
+}
+
+// RunChaseContext is RunChase honoring a context. The engine polls the
+// context every ~1024 trigger applications; when it fires, the partial
+// result — Outcome Canceled, statistics up to the stopping point — is
+// returned together with ctx.Err(), so the call never runs to its full
+// trigger/fact budget after the caller has gone away.
+func RunChaseContext(ctx context.Context, db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*ChaseResult, error) {
+	res, err := chase.RunFromAtomsContext(ctx, db.atoms, rules.rs, v.engine(), chase.Options{
 		MaxTriggers: opt.MaxTriggers,
 		MaxFacts:    opt.MaxFacts,
 		MaxDepth:    int32(opt.MaxDepth),
 	})
-	if err != nil {
+	if res == nil {
 		return nil, err
 	}
 	out := &ChaseResult{
@@ -421,10 +435,12 @@ func RunChase(db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*Chase
 		out.Outcome = Terminated
 	case chase.DepthExceeded:
 		out.Outcome = DepthExceeded
+	case chase.Canceled:
+		out.Outcome = Canceled
 	default:
 		out.Outcome = BudgetExceeded
 	}
-	return out, nil
+	return out, err
 }
 
 // Ternary is a three-valued answer.
@@ -474,6 +490,14 @@ func DecideTermination(rules *RuleSet, v Variant) (*Verdict, error) {
 	return DecideTerminationOpts(rules, v, DecideOptions{})
 }
 
+// DecideTerminationContext is DecideTermination honoring a context: every
+// decision procedure polls it at its fixpoint/worklist boundaries and a
+// canceled or expired context surfaces as ctx.Err() (context.Canceled /
+// context.DeadlineExceeded) well before any search budget is exhausted.
+func DecideTerminationContext(ctx context.Context, rules *RuleSet, v Variant) (*Verdict, error) {
+	return DecideTerminationOptsContext(ctx, rules, v, DecideOptions{})
+}
+
 // Default budgets used when the corresponding DecideOptions field is
 // zero; exported so callers (and caches keyed on options) can treat an
 // explicit default and an omitted field as the same request.
@@ -498,15 +522,21 @@ type DecideOptions struct {
 
 // DecideTerminationOpts is DecideTermination with explicit budgets.
 func DecideTerminationOpts(rules *RuleSet, v Variant, opt DecideOptions) (*Verdict, error) {
+	return DecideTerminationOptsContext(context.Background(), rules, v, opt)
+}
+
+// DecideTerminationOptsContext is DecideTerminationOpts honoring a
+// context; see DecideTerminationContext for the cancellation contract.
+func DecideTerminationOptsContext(ctx context.Context, rules *RuleSet, v Variant, opt DecideOptions) (*Verdict, error) {
 	class := rules.Classify()
 	if v == Restricted {
-		return decideRestricted(rules, class, opt)
+		return decideRestricted(ctx, rules, class, opt)
 	}
 	cv := core.VariantSemiOblivious
 	if v == Oblivious {
 		cv = core.VariantOblivious
 	}
-	verdict, err := core.Decide(rules.rs, cv, core.DecideOptions{
+	verdict, err := core.DecideContext(ctx, rules.rs, cv, core.DecideOptions{
 		Options: core.Options{
 			MaxShapes:    opt.MaxShapes,
 			MaxNodeTypes: opt.MaxNodeTypes,
@@ -547,8 +577,8 @@ func fromCoreVerdict(v *core.Verdict, class Class) *Verdict {
 // semi-oblivious chase implies termination of the restricted chase (the
 // restricted chase applies a subset of the semi-oblivious triggers on
 // every database), so an exact Yes for CT^so transfers.
-func decideRestricted(rules *RuleSet, class Class, opt DecideOptions) (*Verdict, error) {
-	so, err := DecideTerminationOpts(rules, SemiOblivious, opt)
+func decideRestricted(ctx context.Context, rules *RuleSet, class Class, opt DecideOptions) (*Verdict, error) {
+	so, err := DecideTerminationOptsContext(ctx, rules, SemiOblivious, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -579,9 +609,16 @@ func decideRestricted(rules *RuleSet, class Class, opt DecideOptions) (*Verdict,
 // database terminates (its triggers subsume the restricted ones) and
 // Unknown otherwise.
 func DecideTerminationOnDatabase(db *Database, rules *RuleSet, v Variant) (*Verdict, error) {
+	return DecideTerminationOnDatabaseContext(context.Background(), db, rules, v)
+}
+
+// DecideTerminationOnDatabaseContext is DecideTerminationOnDatabase
+// honoring a context; see DecideTerminationContext for the cancellation
+// contract.
+func DecideTerminationOnDatabaseContext(ctx context.Context, db *Database, rules *RuleSet, v Variant) (*Verdict, error) {
 	class := rules.Classify()
 	if v == Restricted {
-		so, err := DecideTerminationOnDatabase(db, rules, SemiOblivious)
+		so, err := DecideTerminationOnDatabaseContext(ctx, db, rules, SemiOblivious)
 		if err != nil {
 			return nil, err
 		}
@@ -598,7 +635,7 @@ func DecideTerminationOnDatabase(db *Database, rules *RuleSet, v Variant) (*Verd
 	}
 	switch class {
 	case SimpleLinear, Linear:
-		res, err := core.DecideLinearOn(rules.rs, db.atoms, cv, core.Options{})
+		res, err := core.DecideLinearOnContext(ctx, rules.rs, db.atoms, cv, core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -611,7 +648,7 @@ func DecideTerminationOnDatabase(db *Database, rules *RuleSet, v Variant) (*Verd
 			target = critical.AuxTransform(rules.rs)
 			method = "guarded-forest(aux,fixed-db)"
 		}
-		res, err := core.DecideGuardedOn(target, db.atoms, core.Options{})
+		res, err := core.DecideGuardedOnContext(ctx, target, db.atoms, core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -619,7 +656,7 @@ func DecideTerminationOnDatabase(db *Database, rules *RuleSet, v Variant) (*Verd
 		out := fromCoreVerdict(res.Verdict, class)
 		return out, nil
 	default:
-		run, err := RunChase(db, rules, v, ChaseOptions{MaxTriggers: 200_000, MaxFacts: 200_000})
+		run, err := RunChaseContext(ctx, db, rules, v, ChaseOptions{MaxTriggers: 200_000, MaxFacts: 200_000})
 		if err != nil {
 			return nil, err
 		}

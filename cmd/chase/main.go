@@ -10,9 +10,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"chaseterm"
 )
@@ -31,13 +35,26 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*variant, flag.Arg(0), flag.Arg(1), *maxTriggers, *maxFacts, *printFacts); err != nil {
+	// Ctrl-C / SIGTERM stops the run cooperatively; the partial stats up
+	// to the interruption are still reported (outcome "canceled").
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// After the first signal, restore default handling so a second
+	// Ctrl-C force-kills even while -print renders a huge partial
+	// instance.
+	go func() { <-ctx.Done(); stop() }()
+	if err := run(ctx, *variant, flag.Arg(0), flag.Arg(1), *maxTriggers, *maxFacts, *printFacts); err != nil {
+		if errors.Is(err, context.Canceled) {
+			// Partial stats were already printed; exit with the
+			// conventional interrupted status so wrappers stop too.
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "chase:", err)
 		os.Exit(1)
 	}
 }
 
-func run(variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, printFacts bool) error {
+func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, printFacts bool) error {
 	v, err := chaseterm.ParseVariant(variantName)
 	if err != nil {
 		return err
@@ -60,11 +77,11 @@ func run(variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, print
 	}
 	fmt.Printf("rules: %d (%s), database: %d facts, variant: %s\n",
 		rules.NumRules(), rules.Classify(), db.Size(), v)
-	res, err := chaseterm.RunChase(db, rules, v, chaseterm.ChaseOptions{
+	res, err := chaseterm.RunChaseContext(ctx, db, rules, v, chaseterm.ChaseOptions{
 		MaxTriggers: maxTriggers,
 		MaxFacts:    maxFacts,
 	})
-	if err != nil {
+	if err != nil && res == nil {
 		return err
 	}
 	fmt.Printf("outcome: %s\n", res.Outcome)
@@ -73,7 +90,11 @@ func run(variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, print
 	fmt.Printf("triggers: %d applied, %d no-op, %d already satisfied\n",
 		s.TriggersApplied, s.TriggersNoop, s.TriggersSatisfied)
 	fmt.Printf("max invented-term depth: %d\n", s.MaxTermDepth)
-	if res.Outcome != chaseterm.Terminated {
+	switch res.Outcome {
+	case chaseterm.Terminated:
+	case chaseterm.Canceled:
+		fmt.Println("note: interrupted — stats cover the work done before cancellation")
+	default:
 		fmt.Println("note: budget hit — the run may or may not be terminating;" +
 			" use termcheck for an exact decision")
 	}
@@ -82,5 +103,8 @@ func run(variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, print
 			fmt.Println(f + ".")
 		}
 	}
-	return nil
+	// err is non-nil exactly when the run was canceled: the stats above
+	// are the partial picture, and the caller still needs to see the
+	// interruption (a wrapper script must not mistake it for success).
+	return err
 }

@@ -1,35 +1,36 @@
 package main
 
 import (
+	"context"
 	"testing"
 )
 
 func TestRunOntology(t *testing.T) {
-	err := run("r", "../../testdata/ontology.dl", "../../testdata/ontology_db.dl", 1000, 1000, false)
+	err := run(context.Background(), "r", "../../testdata/ontology.dl", "../../testdata/ontology_db.dl", 1000, 1000, false)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunDivergentBudget(t *testing.T) {
-	err := run("so", "../../testdata/example1.dl", "../../testdata/example1_db.dl", 50, 1000, true)
+	err := run(context.Background(), "so", "../../testdata/example1.dl", "../../testdata/example1_db.dl", 50, 1000, true)
 	if err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("zzz", "../../testdata/ontology.dl", "../../testdata/ontology_db.dl", 10, 10, false); err == nil {
+	if err := run(context.Background(), "zzz", "../../testdata/ontology.dl", "../../testdata/ontology_db.dl", 10, 10, false); err == nil {
 		t.Error("bad variant accepted")
 	}
-	if err := run("so", "../../testdata/missing.dl", "../../testdata/ontology_db.dl", 10, 10, false); err == nil {
+	if err := run(context.Background(), "so", "../../testdata/missing.dl", "../../testdata/ontology_db.dl", 10, 10, false); err == nil {
 		t.Error("missing rules file accepted")
 	}
-	if err := run("so", "../../testdata/ontology.dl", "../../testdata/missing.dl", 10, 10, false); err == nil {
+	if err := run(context.Background(), "so", "../../testdata/ontology.dl", "../../testdata/missing.dl", 10, 10, false); err == nil {
 		t.Error("missing db file accepted")
 	}
 	// Rules file given as database (facts expected): parse error.
-	if err := run("so", "../../testdata/ontology.dl", "../../testdata/ontology.dl", 10, 10, false); err == nil {
+	if err := run(context.Background(), "so", "../../testdata/ontology.dl", "../../testdata/ontology.dl", 10, 10, false); err == nil {
 		t.Error("rules-as-database accepted")
 	}
 }

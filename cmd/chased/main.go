@@ -61,6 +61,10 @@ func main() {
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	// Once the first signal starts the graceful drain, restore default
+	// signal handling so a second Ctrl-C / SIGTERM force-kills instead of
+	// being swallowed while the server waits for stragglers.
+	go func() { <-ctx.Done(); stop() }()
 	if err := run(ctx, cfg, nil); err != nil {
 		log.Fatal("chased: ", err)
 	}
@@ -99,7 +103,12 @@ func run(ctx context.Context, cfg config, ready func(net.Addr)) error {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
-		log.Print("chased: shutting down")
+		// Graceful drain: Shutdown stops accepting connections and waits
+		// for in-flight handlers to write their responses. Every job the
+		// handlers can be stuck in is context-aware and bounded by the
+		// per-job timeout, so the drain completes within roughly one
+		// JobTimeout; the grace period adds headroom for the final writes.
+		log.Print("chased: shutting down, draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.timeout+5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -78,6 +78,106 @@ func TestServerLifecycle(t *testing.T) {
 	}
 }
 
+// TestGracefulDrain starts a shutdown while an analysis request is in
+// flight and requires the request to still receive a complete response
+// (the drain) and the server to exit cleanly and promptly — possible
+// because in-flight jobs are context-aware and bounded by the job
+// timeout, so Shutdown never waits on an unbounded computation.
+func TestGracefulDrain(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, config{
+			addr:    "127.0.0.1:0",
+			workers: 1,
+			timeout: 2 * time.Second,
+		}, func(a net.Addr) { addrs <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrs:
+		base = fmt.Sprintf("http://%s", a)
+	case err := <-done:
+		t.Fatalf("server exited before becoming ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	// A divergent chase big enough to still be running when the shutdown
+	// starts (but bounded, so the test never hangs even if the drain
+	// were broken in a way that disabled cancellation).
+	body, _ := json.Marshal(map[string]any{
+		"rules":       "person(X) -> hasFather(X,Y), person(Y).",
+		"maxTriggers": 2_000_000,
+		"maxFacts":    2_000_000,
+	})
+	type result struct {
+		status int
+		err    error
+	}
+	resc := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/chase", "application/json", bytes.NewReader(body))
+		if err != nil {
+			resc <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		resc <- result{status: resp.StatusCode}
+	}()
+
+	// Wait until the job is observably in flight before starting the
+	// drain (a fixed sleep would race the POST on a loaded machine).
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			t.Fatalf("stats during warm-up: %v", err)
+		}
+		var snap struct {
+			InFlight int64 `json:"inFlight"`
+		}
+		decodeErr := json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if decodeErr != nil {
+			t.Fatalf("stats decode: %v", decodeErr)
+		}
+		if snap.InFlight > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("chase request never became in-flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel() // begin the graceful drain
+
+	select {
+	case r := <-resc:
+		if r.err != nil {
+			t.Fatalf("in-flight request was dropped during shutdown: %v", r.err)
+		}
+		// 200 if the run finished before the drain; 504 if its job
+		// timeout cut it off. Either way the response was written in
+		// full rather than the connection being severed.
+		if r.status != http.StatusOK && r.status != http.StatusGatewayTimeout {
+			t.Fatalf("in-flight request got status %d", r.status)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("in-flight request never completed")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown returned %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("server did not shut down after draining")
+	}
+}
+
 func TestRunRejectsBadAddress(t *testing.T) {
 	err := run(context.Background(), config{addr: "127.0.0.1:notaport", timeout: time.Second}, nil)
 	if err == nil {

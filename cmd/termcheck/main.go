@@ -13,10 +13,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"chaseterm"
 )
@@ -34,23 +38,35 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	// Ctrl-C / SIGTERM cancels the in-flight decision cooperatively: the
+	// procedures poll the context, so the tool exits promptly instead of
+	// grinding on to its search budget.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// A second signal force-kills: restore default handling once the
+	// first one has started the cooperative cancellation.
+	go func() { <-ctx.Done(); stop() }()
 	var err error
 	switch {
 	case *dbPath != "":
-		err = runFixedDB(*variant, flag.Arg(0), *dbPath)
+		err = runFixedDB(ctx, *variant, flag.Arg(0), *dbPath)
 	case *jsonOut:
-		err = runJSON(*variant, flag.Arg(0))
+		err = runJSON(ctx, *variant, flag.Arg(0))
 	default:
-		err = run(*variant, flag.Arg(0))
+		err = run(ctx, *variant, flag.Arg(0))
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "termcheck: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "termcheck:", err)
 		os.Exit(1)
 	}
 }
 
 // runFixedDB decides termination of the chase of one specific database.
-func runFixedDB(variantName, rulesPath, dbPath string) error {
+func runFixedDB(ctx context.Context, variantName, rulesPath, dbPath string) error {
 	rules, variants, err := load(variantName, rulesPath)
 	if err != nil {
 		return err
@@ -66,7 +82,7 @@ func runFixedDB(variantName, rulesPath, dbPath string) error {
 	fmt.Printf("rules: %d (%s); database: %d facts — fixed-database decision\n",
 		rules.NumRules(), rules.Classify(), db.Size())
 	for _, v := range variants {
-		verdict, err := chaseterm.DecideTerminationOnDatabase(db, rules, v)
+		verdict, err := chaseterm.DecideTerminationOnDatabaseContext(ctx, db, rules, v)
 		if err != nil {
 			return err
 		}
@@ -97,7 +113,7 @@ type jsonVerdict struct {
 	SearchSpace int    `json:"searchSpace,omitempty"`
 }
 
-func runJSON(variantName, rulesPath string) error {
+func runJSON(ctx context.Context, variantName, rulesPath string) error {
 	rules, variants, err := load(variantName, rulesPath)
 	if err != nil {
 		return err
@@ -113,7 +129,7 @@ func runJSON(variantName, rulesPath string) error {
 		Verdicts:       map[string]jsonVerdict{},
 	}
 	for _, v := range variants {
-		verdict, err := chaseterm.DecideTermination(rules, v)
+		verdict, err := chaseterm.DecideTerminationContext(ctx, rules, v)
 		if err != nil {
 			return err
 		}
@@ -149,7 +165,7 @@ func load(variantName, rulesPath string) (*chaseterm.RuleSet, []chaseterm.Varian
 	return rules, []chaseterm.Variant{v}, nil
 }
 
-func run(variantName, rulesPath string) error {
+func run(ctx context.Context, variantName, rulesPath string) error {
 	rules, variants, err := load(variantName, rulesPath)
 	if err != nil {
 		return err
@@ -160,7 +176,7 @@ func run(variantName, rulesPath string) error {
 	fmt.Printf("positional criteria: rich-acyclic=%v weak-acyclic=%v jointly-acyclic=%v\n",
 		rep.RichlyAcyclic, rep.WeaklyAcyclic, rep.JointlyAcyclic)
 	for _, v := range variants {
-		verdict, err := chaseterm.DecideTermination(rules, v)
+		verdict, err := chaseterm.DecideTerminationContext(ctx, rules, v)
 		if err != nil {
 			return err
 		}

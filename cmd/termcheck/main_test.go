@@ -1,55 +1,56 @@
 package main
 
 import (
+	"context"
 	"testing"
 
 	"chaseterm"
 )
 
 func TestRunAllVariants(t *testing.T) {
-	if err := run("all", "../../testdata/example1.dl"); err != nil {
+	if err := run(context.Background(), "all", "../../testdata/example1.dl"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunGuarded(t *testing.T) {
-	if err := run("so", "../../testdata/guarded_gate.dl"); err != nil {
+	if err := run(context.Background(), "so", "../../testdata/guarded_gate.dl"); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("o", "../../testdata/guarded_gate.dl"); err != nil {
+	if err := run(context.Background(), "o", "../../testdata/guarded_gate.dl"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("all", "../../testdata/missing.dl"); err == nil {
+	if err := run(context.Background(), "all", "../../testdata/missing.dl"); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run("zzz", "../../testdata/example1.dl"); err == nil {
+	if err := run(context.Background(), "zzz", "../../testdata/example1.dl"); err == nil {
 		t.Error("bad variant accepted")
 	}
 }
 
 func TestRunFixedDB(t *testing.T) {
-	if err := runFixedDB("so", "../../testdata/example1.dl", "../../testdata/example1_db.dl"); err != nil {
+	if err := runFixedDB(context.Background(), "so", "../../testdata/example1.dl", "../../testdata/example1_db.dl"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runFixedDB("all", "../../testdata/ontology.dl", "../../testdata/ontology_db.dl"); err != nil {
+	if err := runFixedDB(context.Background(), "all", "../../testdata/ontology.dl", "../../testdata/ontology_db.dl"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runFixedDB("so", "../../testdata/example1.dl", "../../testdata/missing.dl"); err == nil {
+	if err := runFixedDB(context.Background(), "so", "../../testdata/example1.dl", "../../testdata/missing.dl"); err == nil {
 		t.Error("missing db accepted")
 	}
 }
 
 func TestRunJSON(t *testing.T) {
-	if err := runJSON("all", "../../testdata/guarded_gate.dl"); err != nil {
+	if err := runJSON(context.Background(), "all", "../../testdata/guarded_gate.dl"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runJSON("so", "../../testdata/example1.dl"); err != nil {
+	if err := runJSON(context.Background(), "so", "../../testdata/example1.dl"); err != nil {
 		t.Fatal(err)
 	}
-	if err := runJSON("so", "../../testdata/missing.dl"); err == nil {
+	if err := runJSON(context.Background(), "so", "../../testdata/missing.dl"); err == nil {
 		t.Error("missing file accepted")
 	}
 }

@@ -1,0 +1,124 @@
+package chase
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"chaseterm/internal/parse"
+)
+
+// divergent is the paper's Example 1: its chase runs forever under every
+// variant, which makes it the canonical workload for cancellation tests —
+// any prompt return must be the context's doing, not termination's.
+const divergentRules = `person(X) -> hasFather(X,Y), person(Y).`
+
+// TestRunContextCancelMidRun cancels a non-terminating chase with a huge
+// budget mid-flight and requires it to stop within the check interval —
+// far under the wall time its budget would take. On pre-cancellation
+// code this test burns through 50M triggers (minutes) before returning.
+func TestRunContextCancelMidRun(t *testing.T) {
+	db := parse.MustParseFacts(`person(bob).`)
+	rs := parse.MustParseRules(divergentRules)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := RunFromAtomsContext(ctx, db, rs, SemiOblivious, Options{
+		MaxTriggers: 50_000_000,
+		MaxFacts:    50_000_000,
+	})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	if res == nil || res.Outcome != Canceled {
+		t.Fatalf("got result %+v, want Outcome Canceled with partial stats", res)
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %v to take effect", elapsed)
+	}
+	if res.Stats.TriggersApplied >= 50_000_000 {
+		t.Fatalf("run consumed its whole budget (%d triggers) despite cancellation",
+			res.Stats.TriggersApplied)
+	}
+	if res.Stats.TriggersApplied == 0 {
+		t.Fatal("run was canceled before doing any work — cancel arrived too early for the test to be meaningful")
+	}
+}
+
+// TestRunContextPreCanceled: an already-dead context stops the run before
+// any trigger fires.
+func TestRunContextPreCanceled(t *testing.T) {
+	db := parse.MustParseFacts(`person(bob).`)
+	rs := parse.MustParseRules(divergentRules)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunFromAtomsContext(ctx, db, rs, SemiOblivious, Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+	if res == nil || res.Outcome != Canceled || res.Stats.TriggersApplied != 0 {
+		t.Fatalf("got %+v, want Canceled result with zero triggers applied", res)
+	}
+}
+
+// TestRunContextDeadline: an expired deadline surfaces as
+// context.DeadlineExceeded, distinguishable from a plain cancel.
+func TestRunContextDeadline(t *testing.T) {
+	db := parse.MustParseFacts(`person(bob).`)
+	rs := parse.MustParseRules(divergentRules)
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Millisecond)
+	defer cancel()
+	_, err := RunFromAtomsContext(ctx, db, rs, SemiOblivious, Options{
+		MaxTriggers: 50_000_000,
+		MaxFacts:    50_000_000,
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got err %v, want context.DeadlineExceeded", err)
+	}
+}
+
+// TestRunBackgroundIdentical: the background-context path must behave
+// exactly like the pre-context Run — terminating workloads terminate.
+func TestRunBackgroundIdentical(t *testing.T) {
+	res := run(t, `p(a).`, `p(X) -> q(X).`, SemiOblivious, Options{})
+	if res.Outcome != Terminated || res.Stats.TriggersApplied != 1 {
+		t.Fatalf("got %v after %d triggers, want Terminated after 1",
+			res.Outcome, res.Stats.TriggersApplied)
+	}
+}
+
+// TestNegativeBudgetsClampToDefaults is the regression test for the
+// withDefaults bug: a negative budget used to slip through the == 0
+// default check and make every run stop instantly with BudgetExceeded
+// (or report Terminated having done zero work).
+func TestNegativeBudgetsClampToDefaults(t *testing.T) {
+	res := run(t, `p(a).`, `p(X) -> q(X).`, SemiOblivious, Options{
+		MaxTriggers: -1,
+		MaxFacts:    -5,
+		MaxDepth:    -2,
+	})
+	if res.Outcome != Terminated {
+		t.Fatalf("negative budgets: outcome %v, want Terminated", res.Outcome)
+	}
+	if res.Stats.TriggersApplied != 1 || res.Stats.FactsAdded != 1 {
+		t.Fatalf("negative budgets: %d triggers / %d facts, want 1/1",
+			res.Stats.TriggersApplied, res.Stats.FactsAdded)
+	}
+}
+
+func TestWithDefaultsClamping(t *testing.T) {
+	got := Options{MaxTriggers: -7, MaxFacts: -7, MaxDepth: -7}.withDefaults()
+	want := Options{}.withDefaults()
+	if got != want {
+		t.Fatalf("withDefaults(-7s) = %+v, want the zero-value defaults %+v", got, want)
+	}
+	kept := Options{MaxTriggers: 3, MaxFacts: 4, MaxDepth: 5}.withDefaults()
+	if kept.MaxTriggers != 3 || kept.MaxFacts != 4 || kept.MaxDepth != 5 {
+		t.Fatalf("withDefaults clobbered explicit positive budgets: %+v", kept)
+	}
+}

@@ -28,6 +28,7 @@
 package chase
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"strings"
@@ -92,6 +93,11 @@ const (
 	// created and Options.StopOnCyclicSkolem was set (the model-faithful
 	// acyclicity test of Grau et al.).
 	CyclicTerm
+	// Canceled: the context passed to RunContext was canceled or its
+	// deadline expired before the run finished. The result carries the
+	// statistics accumulated so far; RunContext additionally returns the
+	// context's error.
+	Canceled
 )
 
 func (o Outcome) String() string {
@@ -102,6 +108,8 @@ func (o Outcome) String() string {
 		return "budget-exceeded"
 	case DepthExceeded:
 		return "depth-exceeded"
+	case Canceled:
+		return "canceled"
 	default:
 		return "cyclic-term"
 	}
@@ -166,13 +174,17 @@ func (o Order) String() string {
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxTriggers == 0 {
+	// Non-positive budgets are treated as "use the default". A negative
+	// budget is never a meaningful request — letting it through would make
+	// every run stop immediately with BudgetExceeded/DepthExceeded (or
+	// report Terminated having done no work).
+	if o.MaxTriggers <= 0 {
 		o.MaxTriggers = 1_000_000
 	}
-	if o.MaxFacts == 0 {
+	if o.MaxFacts <= 0 {
 		o.MaxFacts = 1_000_000
 	}
-	if o.MaxDepth == 0 {
+	if o.MaxDepth <= 0 {
 		o.MaxDepth = 1 << 30
 	}
 	return o
@@ -481,19 +493,64 @@ func (e *Engine) scratchFrontier(cr *compiledRule, binding []instance.TermID) []
 	return e.scratch
 }
 
+// ctxCheckInterval is how many trigger applications pass between polls
+// of the run context. 1024 keeps the per-trigger overhead of the hot
+// loop at a fraction of a nanosecond (one mask-and-compare; the channel
+// poll is amortized) while bounding the cancellation latency to the
+// cost of ~1024 applications.
+const ctxCheckInterval = 1024
+
+// canceled is the non-blocking poll of a run context's done channel;
+// nil (context.Background()) is free.
+func canceled(done <-chan struct{}) bool {
+	if done == nil {
+		return false
+	}
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
+}
+
 // Run executes the chase to termination or budget exhaustion.
 func (e *Engine) Run() (*Result, error) {
+	return e.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// before seeding each rule and every ctxCheckInterval trigger
+// applications. When it fires, the partial result — Outcome Canceled,
+// statistics up to the stopping point — is returned together with
+// ctx.Err(), so callers can either propagate the error or inspect how
+// far the run got.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	done := ctx.Done() // nil for context.Background(): checks compile out
 	e.stats.InitialFacts = e.in.Size()
-	// Seed: all homomorphisms on the initial instance.
+	// Seed: all homomorphisms on the initial instance. Seeding a rule is
+	// itself a join over the whole instance, so the context is checked
+	// between rules.
 	for ri, cr := range e.rules {
+		if canceled(done) {
+			return e.result(Canceled), ctx.Err()
+		}
 		e.in.FindHoms(cr.body, nil, func(b []instance.TermID) bool {
 			e.offer(ri, b)
 			return true
 		})
 	}
 	outcome := Terminated
+	steps := 0 // counts loop iterations, not applications: the restricted
+	// chase can pop long runs of already-satisfied triggers without
+	// applying any, and each satisfaction check is real work too.
 loop:
 	for {
+		if steps%ctxCheckInterval == 0 && canceled(done) {
+			outcome = Canceled
+			break loop
+		}
+		steps++
 		if e.stats.TriggersApplied >= e.opt.MaxTriggers || e.in.Size() >= e.opt.MaxFacts {
 			if e.pending > 0 {
 				outcome = BudgetExceeded
@@ -529,13 +586,20 @@ loop:
 			break loop
 		}
 	}
+	if outcome == Canceled {
+		return e.result(Canceled), ctx.Err()
+	}
+	return e.result(outcome), nil
+}
+
+func (e *Engine) result(outcome Outcome) *Result {
 	return &Result{
 		Variant:  e.variant,
 		Outcome:  outcome,
 		Instance: e.in,
 		Stats:    e.stats,
 		Sequence: e.seq,
-	}, nil
+	}
 }
 
 // headSatisfied reports whether the head of cr, with its frontier bound to
@@ -615,20 +679,31 @@ func (e *Engine) discover(fid instance.FactID) {
 
 // Run is the package-level convenience: compile and run in one call.
 func Run(in *instance.Instance, rs *logic.RuleSet, v Variant, opt Options) (*Result, error) {
+	return RunContext(context.Background(), in, rs, v, opt)
+}
+
+// RunContext is Run honoring a context; see Engine.RunContext for the
+// cancellation contract.
+func RunContext(ctx context.Context, in *instance.Instance, rs *logic.RuleSet, v Variant, opt Options) (*Result, error) {
 	e, err := NewEngine(in, rs, v, opt)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return e.RunContext(ctx)
 }
 
 // RunFromAtoms runs the chase over a database given as ground atoms.
 func RunFromAtoms(db []logic.Atom, rs *logic.RuleSet, v Variant, opt Options) (*Result, error) {
+	return RunFromAtomsContext(context.Background(), db, rs, v, opt)
+}
+
+// RunFromAtomsContext is RunFromAtoms honoring a context.
+func RunFromAtomsContext(ctx context.Context, db []logic.Atom, rs *logic.RuleSet, v Variant, opt Options) (*Result, error) {
 	in, err := instance.FromAtoms(db)
 	if err != nil {
 		return nil, err
 	}
-	return Run(in, rs, v, opt)
+	return RunContext(ctx, in, rs, v, opt)
 }
 
 // IsModel verifies that the instance satisfies every TGD of the rule set:

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"chaseterm/internal/acyclicity"
@@ -8,6 +9,21 @@ import (
 	"chaseterm/internal/critical"
 	"chaseterm/internal/logic"
 )
+
+// pollDone is the non-blocking cancellation check shared by the
+// deciders' fixpoint/worklist loops: it returns ctx.Err() once done is
+// closed, nil otherwise. A nil done (context.Background()) is free.
+func pollDone(ctx context.Context, done <-chan struct{}) error {
+	if done == nil {
+		return nil
+	}
+	select {
+	case <-done:
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // DecideOptions extends Options with budgets for the bounded-oracle
 // fallback used outside the guarded class.
@@ -21,10 +37,13 @@ type DecideOptions struct {
 
 func (o DecideOptions) withDefaults() DecideOptions {
 	o.Options = o.Options.withDefaults()
-	if o.OracleMaxTriggers == 0 {
+	// Clamp non-positive budgets to the defaults: a negative oracle budget
+	// would otherwise make the fallback chase stop instantly and report an
+	// Unknown (or even Terminated-with-zero-work) verdict.
+	if o.OracleMaxTriggers <= 0 {
 		o.OracleMaxTriggers = 200_000
 	}
-	if o.OracleMaxFacts == 0 {
+	if o.OracleMaxFacts <= 0 {
 		o.OracleMaxFacts = 200_000
 	}
 	return o
@@ -45,8 +64,21 @@ func (o DecideOptions) withDefaults() DecideOptions {
 //     instance complete for non-termination too, but an infinite run can
 //     only be cut off, so the negative direction stays Unknown).
 func Decide(rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, error) {
+	return DecideContext(context.Background(), rs, v, opt)
+}
+
+// DecideContext is Decide honoring a context. All dispatched procedures
+// poll the context at their fixpoint/worklist boundaries, so a canceled
+// or expired context surfaces as ctx.Err() well before any search budget
+// is exhausted.
+func DecideContext(ctx context.Context, rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, error) {
 	opt = opt.withDefaults()
 	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	// Uniform contract: an already-dead context fails every dispatch path,
+	// including the ones cheap enough to lack their own polls.
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	class := rs.Classify()
@@ -57,13 +89,13 @@ func Decide(rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, err
 		if len(rs.Constants()) == 0 {
 			return DecideSimpleLinear(rs, v)
 		}
-		res, err := DecideLinear(rs, v, opt.Options)
+		res, err := DecideLinearContext(ctx, rs, v, opt.Options)
 		if err != nil {
 			return nil, err
 		}
 		return res.Verdict, nil
 	case logic.ClassLinear:
-		res, err := DecideLinear(rs, v, opt.Options)
+		res, err := DecideLinearContext(ctx, rs, v, opt.Options)
 		if err != nil {
 			return nil, err
 		}
@@ -75,7 +107,7 @@ func Decide(rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, err
 			target = critical.AuxTransform(rs)
 			method = "guarded-forest(aux)"
 		}
-		res, err := DecideGuarded(target, opt.Options)
+		res, err := DecideGuardedContext(ctx, target, opt.Options)
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +115,7 @@ func Decide(rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, err
 		res.Verdict.Method = method
 		return res.Verdict, nil
 	default:
-		return decideGeneral(rs, v, opt)
+		return decideGeneral(ctx, rs, v, opt)
 	}
 }
 
@@ -127,8 +159,9 @@ func DecideSimpleLinear(rs *logic.RuleSet, v ChaseVariant) (*Verdict, error) {
 }
 
 // decideGeneral applies the sound fallbacks for unrestricted TGDs.
-func decideGeneral(rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, error) {
-	// 1. Positional acyclicity: RA ⇒ CT^o, WA ⇒ CT^so.
+func decideGeneral(ctx context.Context, rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, error) {
+	// 1. Positional acyclicity: RA ⇒ CT^o, WA ⇒ CT^so. (Polynomial —
+	// cheap enough to run without cancellation points.)
 	if v == VariantOblivious {
 		if ok, _ := acyclicity.IsRichlyAcyclic(rs); ok {
 			return &Verdict{Answer: Terminating, Variant: v, Method: "rich-acyclicity"}, nil
@@ -143,7 +176,7 @@ func decideGeneral(rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdi
 	if v == VariantOblivious {
 		target = critical.AuxTransform(rs)
 	}
-	res, err := critical.Oracle(target, chase.SemiOblivious, chase.Options{
+	res, err := critical.OracleContext(ctx, target, chase.SemiOblivious, chase.Options{
 		MaxTriggers: opt.OracleMaxTriggers,
 		MaxFacts:    opt.OracleMaxFacts,
 	})

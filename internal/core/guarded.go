@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -205,7 +206,14 @@ type guardedDecider struct {
 	seeds     map[string]*gSeed
 	rootKey   string
 	maxNulls  int
+	// ctx/done carry the run's cancellation signal; the fixpoint loops
+	// poll done at node-type granularity.
+	ctx  context.Context
+	done <-chan struct{}
 }
+
+// canceled polls the decider's context without blocking.
+func (d *guardedDecider) canceled() error { return pollDone(d.ctx, d.done) }
 
 // GuardedResult carries the guarded analysis outcome.
 type GuardedResult struct {
@@ -217,7 +225,14 @@ type GuardedResult struct {
 // over all databases. For CT^o, apply the aux-atom transformation first
 // (the Decide front door and the façade do this automatically).
 func DecideGuarded(rs *logic.RuleSet, opt Options) (*GuardedResult, error) {
-	return decideGuardedSeeded(rs, nil, opt)
+	return decideGuardedSeeded(context.Background(), rs, nil, opt)
+}
+
+// DecideGuardedContext is DecideGuarded honoring a context: the global
+// and per-node fixpoint loops poll it, so a cancellation surfaces as
+// ctx.Err() long before the node-type budget is reached.
+func DecideGuardedContext(ctx context.Context, rs *logic.RuleSet, opt Options) (*GuardedResult, error) {
+	return decideGuardedSeeded(ctx, rs, nil, opt)
 }
 
 // DecideGuardedOn decides whether the semi-oblivious chase of the GIVEN
@@ -227,6 +242,11 @@ func DecideGuarded(rs *logic.RuleSet, opt Options) (*GuardedResult, error) {
 // database decides termination for exactly that input (an extension beyond
 // the paper's all-instance theorem).
 func DecideGuardedOn(rs *logic.RuleSet, db []logic.Atom, opt Options) (*GuardedResult, error) {
+	return DecideGuardedOnContext(context.Background(), rs, db, opt)
+}
+
+// DecideGuardedOnContext is DecideGuardedOn honoring a context.
+func DecideGuardedOnContext(ctx context.Context, rs *logic.RuleSet, db []logic.Atom, opt Options) (*GuardedResult, error) {
 	for _, a := range db {
 		if !a.IsGround() {
 			return nil, fmt.Errorf("core: database atom %s is not ground", a)
@@ -235,10 +255,10 @@ func DecideGuardedOn(rs *logic.RuleSet, db []logic.Atom, opt Options) (*GuardedR
 	if db == nil {
 		db = []logic.Atom{}
 	}
-	return decideGuardedSeeded(rs, db, opt)
+	return decideGuardedSeeded(ctx, rs, db, opt)
 }
 
-func decideGuardedSeeded(rs *logic.RuleSet, db []logic.Atom, opt Options) (*GuardedResult, error) {
+func decideGuardedSeeded(ctx context.Context, rs *logic.RuleSet, db []logic.Atom, opt Options) (*GuardedResult, error) {
 	opt = opt.withDefaults()
 	if err := rs.Validate(); err != nil {
 		return nil, err
@@ -248,10 +268,17 @@ func decideGuardedSeeded(rs *logic.RuleSet, db []logic.Atom, opt Options) (*Guar
 			return nil, fmt.Errorf("core: rule %d (%s) is not guarded", i, r)
 		}
 	}
+	// Uniform contract: an already-dead context fails the decision up
+	// front rather than depending on the fixpoint loop iterating.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	d := &guardedDecider{
 		opt:   opt,
 		cache: make(map[string]*satVal),
 		seeds: make(map[string]*gSeed),
+		ctx:   ctx,
+		done:  ctx.Done(),
 	}
 	if err := d.compile(rs, db); err != nil {
 		return nil, err
@@ -274,6 +301,9 @@ func decideGuardedSeeded(rs *logic.RuleSet, db []logic.Atom, opt Options) (*Guar
 		}
 		sort.Strings(keys)
 		for _, k := range keys {
+			if err := d.canceled(); err != nil {
+				return nil, err
+			}
 			v, err := d.computeSat(d.seeds[k])
 			if err != nil {
 				return nil, err
@@ -576,6 +606,9 @@ func (d *guardedDecider) computeSat(seed *gSeed) (*satVal, error) {
 	for {
 		// Inner fixpoint: fire triggers.
 		for {
+			if err := d.canceled(); err != nil {
+				return nil, err
+			}
 			changed := false
 			for _, gr := range d.rules {
 				gr := gr

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -88,10 +89,12 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
-	if o.MaxShapes == 0 {
+	// Non-positive caps mean "default": a negative cap would make every
+	// decision fail immediately with a budget error.
+	if o.MaxShapes <= 0 {
 		o.MaxShapes = DefaultMaxShapes
 	}
-	if o.MaxNodeTypes == 0 {
+	if o.MaxNodeTypes <= 0 {
 		o.MaxNodeTypes = DefaultMaxNodeTypes
 	}
 	return o
@@ -277,7 +280,13 @@ type LinearResult struct {
 // (Marnette's lemma; package critical). It returns an error if some rule
 // is not linear or a budget is exceeded.
 func DecideLinear(rs *logic.RuleSet, v ChaseVariant, opt Options) (*LinearResult, error) {
-	return decideLinearSeeded(rs, v, nil, opt)
+	return decideLinearSeeded(context.Background(), rs, v, nil, opt)
+}
+
+// DecideLinearContext is DecideLinear honoring a context: the shape
+// worklist polls it and a cancellation surfaces as ctx.Err().
+func DecideLinearContext(ctx context.Context, rs *logic.RuleSet, v ChaseVariant, opt Options) (*LinearResult, error) {
+	return decideLinearSeeded(ctx, rs, v, nil, opt)
 }
 
 // DecideLinearOn decides whether the ?-chase of the GIVEN database under
@@ -288,6 +297,11 @@ func DecideLinear(rs *logic.RuleSet, v ChaseVariant, opt Options) (*LinearResult
 // shapes instead of the critical instance: the pumping and provenance
 // arguments never used criticality of the seed, only its groundness).
 func DecideLinearOn(rs *logic.RuleSet, db []logic.Atom, v ChaseVariant, opt Options) (*LinearResult, error) {
+	return DecideLinearOnContext(context.Background(), rs, db, v, opt)
+}
+
+// DecideLinearOnContext is DecideLinearOn honoring a context.
+func DecideLinearOnContext(ctx context.Context, rs *logic.RuleSet, db []logic.Atom, v ChaseVariant, opt Options) (*LinearResult, error) {
 	for _, a := range db {
 		if !a.IsGround() {
 			return nil, fmt.Errorf("core: database atom %s is not ground", a)
@@ -296,14 +310,19 @@ func DecideLinearOn(rs *logic.RuleSet, db []logic.Atom, v ChaseVariant, opt Opti
 	if db == nil {
 		db = []logic.Atom{}
 	}
-	return decideLinearSeeded(rs, v, db, opt)
+	return decideLinearSeeded(ctx, rs, v, db, opt)
 }
 
 // decideLinearSeeded runs the shape analysis; a nil seed means "critical
 // instance".
-func decideLinearSeeded(rs *logic.RuleSet, v ChaseVariant, seedDB []logic.Atom, opt Options) (*LinearResult, error) {
+func decideLinearSeeded(ctx context.Context, rs *logic.RuleSet, v ChaseVariant, seedDB []logic.Atom, opt Options) (*LinearResult, error) {
 	opt = opt.withDefaults()
 	if err := rs.Validate(); err != nil {
+		return nil, err
+	}
+	// Uniform contract: an already-dead context fails even runs whose
+	// worklist would be empty (e.g. an empty seed database).
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	var rules []*linearRule
@@ -493,7 +512,11 @@ func decideLinearSeeded(rs *logic.RuleSet, v ChaseVariant, seedDB []logic.Atom, 
 		return nil
 	}
 
+	done := ctx.Done()
 	for len(worklist) > 0 {
+		if err := pollDone(ctx, done); err != nil {
+			return nil, err
+		}
 		s := worklist[len(worklist)-1]
 		worklist = worklist[:len(worklist)-1]
 		for _, lr := range rules {

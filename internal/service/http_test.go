@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -230,7 +231,7 @@ func TestHTTPErrorMapping(t *testing.T) {
 	srv := newTestServer(t, Options{
 		Workers:    1,
 		JobTimeout: 30 * time.Millisecond,
-		DecideFunc: func(*chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
+		DecideFunc: func(_ context.Context, _ *chaseterm.RuleSet, _ chaseterm.Variant, _ chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
 			<-slow
 			return nil, nil
 		},

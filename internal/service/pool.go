@@ -65,9 +65,10 @@ func (p *workerPool) worker() {
 // goroutine so that an expired context unblocks the caller immediately;
 // the worker then stays on the job until the computation actually winds
 // down — releasing it early would let abandoned analyses pile up past
-// the W-worker admission bound. Every analysis in this module is
-// budget-bounded (trigger/fact/shape/node-type caps), so the wait
-// terminates.
+// the W-worker admission bound. Job functions honor their context (the
+// chase engine and the deciders poll it at trigger/fixpoint
+// granularity), so after a cancellation the wait lasts at most one
+// check interval rather than the job's full trigger/fact/shape budget.
 func (p *workerPool) run(j poolJob) {
 	if err := j.ctx.Err(); err != nil {
 		j.res <- outcome{err: err}

@@ -129,8 +129,11 @@ type Options struct {
 	// MaxBatch bounds jobs per Batch call (default 256).
 	MaxBatch int
 	// DecideFunc overrides the decision procedure — for tests and
-	// instrumentation wrappers. Nil means chaseterm.DecideTerminationOpts.
-	DecideFunc func(*chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
+	// instrumentation wrappers. Nil means
+	// chaseterm.DecideTerminationOptsContext. Implementations must honor
+	// the context: it carries the job's deadline, and ignoring it keeps a
+	// worker slot pinned after the client's request has already failed.
+	DecideFunc func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
 }
 
 // Engine runs analysis jobs concurrently with caching and admission
@@ -140,7 +143,7 @@ type Engine struct {
 	cache  *verdictCache
 	pool   *workerPool
 	stats  *Stats
-	decide func(*chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
+	decide func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
 }
 
 // New builds an Engine and starts its workers.
@@ -159,7 +162,7 @@ func New(opts Options) *Engine {
 	}
 	decide := opts.DecideFunc
 	if decide == nil {
-		decide = chaseterm.DecideTerminationOpts
+		decide = chaseterm.DecideTerminationOptsContext
 	}
 	return &Engine{
 		opts:   opts,
@@ -257,8 +260,8 @@ func (e *Engine) doDecide(ctx context.Context, req Request, rules *chaseterm.Rul
 		// while waiting.
 		fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.opts.JobTimeout)
 		defer cancel()
-		return e.pool.Do(fctx, func(context.Context) (any, error) {
-			return e.decide(rules, variant, chaseterm.DecideOptions{
+		return e.pool.Do(fctx, func(ctx context.Context) (any, error) {
+			return e.decide(ctx, rules, variant, chaseterm.DecideOptions{
 				MaxShapes:    shapes,
 				MaxNodeTypes: nodeTypes,
 			})
@@ -296,8 +299,8 @@ func (e *Engine) doChase(ctx context.Context, req Request, rules *chaseterm.Rule
 	} else if db, err = chaseterm.ParseDatabase(req.Database); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
-	val, err := e.pool.Do(ctx, func(context.Context) (any, error) {
-		res, err := chaseterm.RunChase(db, rules, variant, chaseterm.ChaseOptions{
+	val, err := e.pool.Do(ctx, func(ctx context.Context) (any, error) {
+		res, err := chaseterm.RunChaseContext(ctx, db, rules, variant, chaseterm.ChaseOptions{
 			MaxTriggers: req.MaxTriggers,
 			MaxFacts:    req.MaxFacts,
 			MaxDepth:    req.MaxDepth,

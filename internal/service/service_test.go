@@ -31,7 +31,7 @@ func TestDecideCollapsesConcurrentIdenticalRequests(t *testing.T) {
 	eng = New(Options{
 		Workers:    4,
 		JobTimeout: 30 * time.Second,
-		DecideFunc: func(rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
+		DecideFunc: func(_ context.Context, rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
 			calls.Add(1)
 			// Hold the decision open until every client is inside the
 			// engine, so all of them overlap this single computation.
@@ -173,7 +173,7 @@ func TestJobTimeout(t *testing.T) {
 	eng := New(Options{
 		Workers:    1,
 		JobTimeout: 30 * time.Millisecond,
-		DecideFunc: func(*chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
+		DecideFunc: func(_ context.Context, _ *chaseterm.RuleSet, _ chaseterm.Variant, _ chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
 			<-release
 			return nil, errors.New("unreachable")
 		},
@@ -204,7 +204,7 @@ func TestFlightSurvivesLeaderCancellation(t *testing.T) {
 	release := make(chan struct{})
 	eng := New(Options{
 		Workers: 2,
-		DecideFunc: func(rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
+		DecideFunc: func(_ context.Context, rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
 			close(started)
 			<-release
 			return chaseterm.DecideTerminationOpts(rules, v, opt)
@@ -271,7 +271,7 @@ func TestExplicitDefaultBudgetHitsCache(t *testing.T) {
 	var calls atomic.Int64
 	eng := New(Options{
 		Workers: 2,
-		DecideFunc: func(rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
+		DecideFunc: func(_ context.Context, rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
 			calls.Add(1)
 			return chaseterm.DecideTerminationOpts(rules, v, opt)
 		},
@@ -335,7 +335,7 @@ func TestDecideDistinctOptionsNotConflated(t *testing.T) {
 	var calls atomic.Int64
 	eng := New(Options{
 		Workers: 2,
-		DecideFunc: func(rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
+		DecideFunc: func(_ context.Context, rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
 			calls.Add(1)
 			return chaseterm.DecideTerminationOpts(rules, v, opt)
 		},

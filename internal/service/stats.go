@@ -1,6 +1,7 @@
 package service
 
 import (
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -78,8 +79,12 @@ func (w *latencyWindow) quantiles() (p50, p99 time.Duration) {
 		return 0, 0
 	}
 	sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+	// Nearest-rank (ceiling) indexing: the q-quantile is the smallest
+	// sample ≥ a q-fraction of the window, i.e. sample[⌈q·n⌉-1]. The
+	// previous floor indexing int(q*(n-1)) under-reported the tail badly
+	// on small windows — the "p99" of a 2-sample window was its minimum.
 	idx := func(q float64) int {
-		i := int(q * float64(n-1))
+		i := int(math.Ceil(q*float64(n))) - 1
 		if i < 0 {
 			i = 0
 		}

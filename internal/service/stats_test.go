@@ -1,0 +1,73 @@
+package service
+
+import (
+	"testing"
+	"time"
+)
+
+// TestLatencyQuantilesNearestRank pins the nearest-rank (ceiling)
+// indexing of the latency window. The old floor indexing int(q*(n-1))
+// under-reported the tail: the "p99" of a 2-sample window was its
+// minimum.
+func TestLatencyQuantilesNearestRank(t *testing.T) {
+	ms := func(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+	t.Run("empty", func(t *testing.T) {
+		var w latencyWindow
+		w.init(8)
+		if p50, p99 := w.quantiles(); p50 != 0 || p99 != 0 {
+			t.Fatalf("empty window: got p50=%v p99=%v, want zeros", p50, p99)
+		}
+	})
+
+	t.Run("one-sample", func(t *testing.T) {
+		var w latencyWindow
+		w.init(8)
+		w.record(ms(7))
+		if p50, p99 := w.quantiles(); p50 != ms(7) || p99 != ms(7) {
+			t.Fatalf("1 sample: got p50=%v p99=%v, want both 7ms", p50, p99)
+		}
+	})
+
+	t.Run("two-samples", func(t *testing.T) {
+		var w latencyWindow
+		w.init(8)
+		w.record(ms(10))
+		w.record(ms(20))
+		p50, p99 := w.quantiles()
+		if p50 != ms(10) {
+			t.Errorf("2 samples: p50=%v, want 10ms", p50)
+		}
+		// The regression: floor indexing returned 10ms (the minimum).
+		if p99 != ms(20) {
+			t.Errorf("2 samples: p99=%v, want the maximum 20ms", p99)
+		}
+	})
+
+	t.Run("hundred-samples", func(t *testing.T) {
+		var w latencyWindow
+		w.init(128)
+		for i := 1; i <= 100; i++ {
+			w.record(ms(i))
+		}
+		p50, p99 := w.quantiles()
+		if p50 != ms(50) {
+			t.Errorf("100 samples: p50=%v, want 50ms", p50)
+		}
+		if p99 != ms(99) {
+			t.Errorf("100 samples: p99=%v, want 99ms", p99)
+		}
+	})
+
+	t.Run("ring-wraps", func(t *testing.T) {
+		var w latencyWindow
+		w.init(4)
+		for i := 1; i <= 10; i++ { // window keeps 7,8,9,10
+			w.record(ms(i))
+		}
+		p50, p99 := w.quantiles()
+		if p50 != ms(8) || p99 != ms(10) {
+			t.Errorf("wrapped window: got p50=%v p99=%v, want 8ms/10ms", p50, p99)
+		}
+	})
+}
