@@ -1,0 +1,261 @@
+package chaseterm_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"chaseterm"
+)
+
+var an chaseterm.Analyzer
+
+func TestAnalyzeClassify(t *testing.T) {
+	rules := chaseterm.MustParseRules(`gate(X,Y), live(X) -> out(Y,Z), live(Z).
+	                                   out(Y,Z) -> gate(Y,Z).`)
+	rep, err := an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalyzeClassify, rules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != chaseterm.AnalyzeClassify || rep.Class != chaseterm.Guarded {
+		t.Errorf("classify report: kind %v class %v", rep.Kind, rep.Class)
+	}
+	if rep.NumRules != 2 || rep.MaxArity != 2 {
+		t.Errorf("schema: %d rules, arity %d", rep.NumRules, rep.MaxArity)
+	}
+	if want := []string{"gate/2", "live/1", "out/2"}; !reflect.DeepEqual(rep.Predicates, want) {
+		t.Errorf("predicates %v, want %v", rep.Predicates, want)
+	}
+	if rep.Fingerprint != rules.Fingerprint() || len(rep.Fingerprint) != 64 {
+		t.Errorf("fingerprint %q", rep.Fingerprint)
+	}
+	if rep.Verdict != nil || rep.Chase != nil || rep.Acyclicity != nil {
+		t.Errorf("classify report carries extra sections: %+v", rep)
+	}
+}
+
+// TestAnalyzeDecideMatchesLegacy: the deprecated wrappers and the
+// Analyzer must agree verdict-for-verdict — they are the same code.
+func TestAnalyzeDecideMatchesLegacy(t *testing.T) {
+	for _, src := range []string{
+		`person(X) -> hasFather(X,Y), person(Y).`,
+		`p(X,Y) -> p(X,Z).`,
+		`gate(X,Y), live(X) -> out(Y,Z), live(Z).`,
+	} {
+		rules := chaseterm.MustParseRules(src)
+		for _, v := range []chaseterm.Variant{chaseterm.Oblivious, chaseterm.SemiOblivious, chaseterm.Restricted} {
+			rep, err := an.Analyze(context.Background(),
+				chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules, chaseterm.WithVariant(v)))
+			if err != nil {
+				t.Fatalf("%s (%s): %v", src, v, err)
+			}
+			legacy, err := chaseterm.DecideTermination(rules, v)
+			if err != nil {
+				t.Fatalf("%s (%s): legacy: %v", src, v, err)
+			}
+			if !reflect.DeepEqual(rep.Verdict, legacy) {
+				t.Errorf("%s (%s): Analyze %+v != legacy %+v", src, v, rep.Verdict, legacy)
+			}
+		}
+	}
+}
+
+func TestAnalyzeDecideOnDatabase(t *testing.T) {
+	rules := chaseterm.MustParseRules(`p(X,Y) -> p(Y,Z).`)
+	db := chaseterm.MustParseDatabase(`q(a).`) // no p-facts: inert
+	rep, err := an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithDatabase(db), chaseterm.WithVariant(chaseterm.SemiOblivious)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict.Terminates != chaseterm.Yes {
+		t.Errorf("fixed-db decide on inert database: %+v", rep.Verdict)
+	}
+	// Without the database the same rule set is non-terminating.
+	rep, err = an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithVariant(chaseterm.SemiOblivious)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict.Terminates != chaseterm.No {
+		t.Errorf("all-instance decide: %+v", rep.Verdict)
+	}
+}
+
+func TestAnalyzeChase(t *testing.T) {
+	rules := chaseterm.MustParseRules(`professor(X) -> teaches(X,C).
+	                                   teaches(X,C) -> course(C).`)
+	db := chaseterm.MustParseDatabase(`professor(turing).`)
+	rep, err := an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalyzeChase, rules,
+		chaseterm.WithDatabase(db), chaseterm.WithVariant(chaseterm.Restricted), chaseterm.WithFacts()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chase == nil || rep.Chase.Outcome != chaseterm.Terminated {
+		t.Fatalf("chase report: %+v", rep.Chase)
+	}
+	if rep.Chase.Stats.FactsAdded == 0 || len(rep.Chase.Facts()) == 0 {
+		t.Errorf("chase stats/facts empty: %+v", rep.Chase.Stats)
+	}
+	// Certain-answer queries work on the report's result.
+	got, err := rep.Chase.Query(`course(C)`, "C")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		// turing's course is anonymous, so there are no certain answers.
+		t.Errorf("certain courses %v, want none", got)
+	}
+}
+
+// TestAnalyzeChaseDefaultsToCriticalInstance: with no database attached
+// the chase seeds from I*(Σ), mirroring the all-instance decision.
+func TestAnalyzeChaseDefaultsToCriticalInstance(t *testing.T) {
+	rules := chaseterm.MustParseRules(`person(X) -> hasFather(X,Y), person(Y).`)
+	rep, err := an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalyzeChase, rules,
+		chaseterm.WithChaseBudgets(chaseterm.ChaseOptions{MaxTriggers: 100, MaxFacts: 100})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chase.Outcome == chaseterm.Terminated {
+		t.Errorf("critical chase of Example 1 cannot terminate: %+v", rep.Chase)
+	}
+	if rep.Chase.Stats.InitialFacts != chaseterm.CriticalDatabase(rules).Size() {
+		t.Errorf("initial facts %d, want the critical instance size", rep.Chase.Stats.InitialFacts)
+	}
+}
+
+// TestAnalyzeChaseCancellation: the chase kind returns the partial
+// report together with the context error, like RunChaseContext.
+func TestAnalyzeChaseCancellation(t *testing.T) {
+	rules := chaseterm.MustParseRules(`person(X) -> hasFather(X,Y), person(Y).`)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	rep, err := an.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules,
+		chaseterm.WithChaseBudgets(chaseterm.ChaseOptions{MaxTriggers: 50_000_000, MaxFacts: 50_000_000})))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want deadline exceeded", err)
+	}
+	if rep == nil || rep.Chase == nil || rep.Chase.Outcome != chaseterm.Canceled {
+		t.Fatalf("canceled chase must return the partial report, got %+v", rep)
+	}
+}
+
+// TestAnalyzeDecideCancellation: non-chase kinds return a nil report
+// with the context error.
+func TestAnalyzeDecideCancellation(t *testing.T) {
+	rules := chaseterm.MustParseRules(`p(X), q(Y) -> s(X,Y). s(X,Y) -> p(Z), t(X,Z).`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rep, err := an.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want canceled", err)
+	}
+	if rep != nil {
+		t.Fatalf("canceled decide returned a report: %+v", rep)
+	}
+}
+
+func TestAnalyzeAcyclicity(t *testing.T) {
+	rules := chaseterm.MustParseRules("p(X) -> q(X,Y).\nq(X,Y), q(Y,X) -> p(Y).")
+	rep, err := an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalyzeAcyclicity, rules))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := chaseterm.CheckAcyclicity(rules)
+	if rep.Acyclicity == nil || !reflect.DeepEqual(*rep.Acyclicity, want) {
+		t.Errorf("acyclicity report %+v, want %+v", rep.Acyclicity, want)
+	}
+	if rep.Acyclicity.WeaklyAcyclic || !rep.Acyclicity.JointlyAcyclic {
+		t.Errorf("JA-not-WA example misreported: %+v", rep.Acyclicity)
+	}
+}
+
+// TestAnalyzeWithAcyclicityComposes: WithAcyclicity rides along any
+// kind, so one request can carry a verdict and the criteria ladder.
+func TestAnalyzeWithAcyclicityComposes(t *testing.T) {
+	rules := chaseterm.MustParseRules(`person(X) -> hasFather(X,Y), person(Y).`)
+	rep, err := an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithAcyclicity()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict == nil || rep.Verdict.Terminates != chaseterm.No {
+		t.Errorf("verdict missing or wrong: %+v", rep.Verdict)
+	}
+	if rep.Acyclicity == nil || rep.Acyclicity.WeaklyAcyclic {
+		t.Errorf("attached acyclicity report wrong: %+v", rep.Acyclicity)
+	}
+}
+
+// TestStructLiteralRequestDefaultsToSemiOblivious: a Request built as a
+// plain struct literal (bypassing NewRequest) must still get the
+// documented SemiOblivious default, not the Variant zero value
+// (Oblivious) — the two decide genuinely different problems.
+func TestStructLiteralRequestDefaultsToSemiOblivious(t *testing.T) {
+	// CT^o and CT^so differ on this set: dropping the frontier variable
+	// keeps the semi-oblivious chase finite while the oblivious diverges.
+	rules := chaseterm.MustParseRules(`p(X,Y) -> p(X,Z).`)
+	rep, err := an.Analyze(context.Background(),
+		chaseterm.Request{Kind: chaseterm.AnalyzeDecide, Rules: rules})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict.Terminates != chaseterm.Yes {
+		t.Errorf("struct-literal request decided %v — it ran the oblivious variant instead of the semi-oblivious default", rep.Verdict.Terminates)
+	}
+	if got := (chaseterm.Request{}).Variant(); got != chaseterm.SemiOblivious {
+		t.Errorf("zero Request reports variant %v, want SemiOblivious", got)
+	}
+}
+
+// TestDecideBudgetsApplyOnDatabase: WithDecideBudgets must bound the
+// fixed-database deciders too, not just the all-instance ones.
+func TestDecideBudgetsApplyOnDatabase(t *testing.T) {
+	rules := chaseterm.MustParseRules(`gate(X,Y), live(X) -> out(Y,Z), live(Z).
+	                                   out(Y,Z) -> gate(Y,Z).`)
+	db := chaseterm.MustParseDatabase(`gate(a,b). live(a).`)
+	_, err := an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithDatabase(db),
+		chaseterm.WithDecideBudgets(chaseterm.DecideOptions{MaxNodeTypes: 1})))
+	if err == nil {
+		t.Fatal("a one-node-type budget cannot complete the guarded forest; want an error")
+	}
+}
+
+func TestAnalyzeRejectsBadRequests(t *testing.T) {
+	rules := chaseterm.MustParseRules(`p(X) -> q(X).`)
+	if _, err := an.Analyze(context.Background(), chaseterm.Request{Kind: chaseterm.AnalyzeDecide}); err == nil {
+		t.Error("nil rule set accepted")
+	}
+	if _, err := an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalysisKind(42), rules)); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// WithDatabase(nil) is a caller bug, not "no database": silently
+	// answering the all-instance problem would be a different question.
+	if _, err := an.Analyze(context.Background(), chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithDatabase(nil))); err == nil {
+		t.Error("nil database accepted")
+	}
+	if _, err := chaseterm.DecideTerminationOnDatabase(nil, rules, chaseterm.SemiOblivious); err == nil {
+		t.Error("legacy wrapper accepted a nil database")
+	}
+}
+
+func TestAnalysisKindRoundTrip(t *testing.T) {
+	kinds := []chaseterm.AnalysisKind{
+		chaseterm.AnalyzeClassify, chaseterm.AnalyzeDecide,
+		chaseterm.AnalyzeChase, chaseterm.AnalyzeAcyclicity,
+	}
+	for _, k := range kinds {
+		back, err := chaseterm.ParseAnalysisKind(k.String())
+		if err != nil || back != k {
+			t.Errorf("kind %v round-trips to (%v, %v)", k, back, err)
+		}
+	}
+	if _, err := chaseterm.ParseAnalysisKind("mystery"); err == nil {
+		t.Error("unknown kind name parsed")
+	}
+}

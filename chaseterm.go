@@ -23,9 +23,17 @@
 //
 // # Quick start
 //
+// Every analysis goes through one context-first entry point, the
+// Analyzer:
+//
+//	var an chaseterm.Analyzer
 //	rules, _ := chaseterm.ParseRules(`person(X) -> hasFather(X,Y), person(Y).`)
-//	v, _ := chaseterm.DecideTermination(rules, chaseterm.SemiOblivious)
-//	fmt.Println(v.Terminates) // "non-terminating": Example 1 runs forever
+//	rep, _ := an.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules))
+//	fmt.Println(rep.Verdict.Terminates) // "non-terminating": Example 1 runs forever
+//
+// The pre-Analyzer free functions (DecideTermination, RunChase,
+// CheckAcyclicity, …) remain as deprecated wrappers with unchanged
+// behavior.
 //
 // Rule syntax: `body -> head.` with comma-separated atoms; identifiers
 // starting with an upper-case letter (or '_') are variables; head
@@ -117,6 +125,9 @@ func (c Class) String() string {
 // RuleSet is a parsed, validated set of TGDs.
 type RuleSet struct {
 	rs *logic.RuleSet
+
+	fpOnce sync.Once
+	fp     string
 }
 
 // ParseRules parses a rule set from text.
@@ -175,19 +186,24 @@ func (r *RuleSet) Predicates() []string {
 // occurrence (body before head) and sorts the rendered rules, so the
 // fingerprint is invariant under rule reordering and variable renaming,
 // and deterministic across processes. It is the cache key of the
-// analysis service (internal/service).
+// analysis service (internal/service). Computed once and memoized —
+// every Analyzer report carries it, so repeated analyses of the same
+// set must not re-canonicalize.
 func (r *RuleSet) Fingerprint() string {
-	lines := make([]string, len(r.rs.Rules))
-	for i, t := range r.rs.Rules {
-		lines[i] = canonicalRule(t)
-	}
-	sort.Strings(lines)
-	h := sha256.New()
-	for _, l := range lines {
-		h.Write([]byte(l))
-		h.Write([]byte{'\n'})
-	}
-	return hex.EncodeToString(h.Sum(nil))
+	r.fpOnce.Do(func() {
+		lines := make([]string, len(r.rs.Rules))
+		for i, t := range r.rs.Rules {
+			lines[i] = canonicalRule(t)
+		}
+		sort.Strings(lines)
+		h := sha256.New()
+		for _, l := range lines {
+			h.Write([]byte(l))
+			h.Write([]byte{'\n'})
+		}
+		r.fp = hex.EncodeToString(h.Sum(nil))
+	})
+	return r.fp
 }
 
 // canonicalRule renders a TGD with variables renamed to V0, V1, … in
@@ -400,6 +416,9 @@ func (r *ChaseResult) Holds(body string) (bool, error) {
 
 // RunChase executes the selected chase variant on the database and returns
 // the result. A Terminated outcome yields a universal model.
+//
+// Deprecated: Use Analyzer.Analyze with NewRequest(AnalyzeChase, rules,
+// WithDatabase(db), WithVariant(v), WithChaseBudgets(opt)) instead.
 func RunChase(db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*ChaseResult, error) {
 	return RunChaseContext(context.Background(), db, rules, v, opt)
 }
@@ -409,7 +428,20 @@ func RunChase(db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*Chase
 // result — Outcome Canceled, statistics up to the stopping point — is
 // returned together with ctx.Err(), so the call never runs to its full
 // trigger/fact budget after the caller has gone away.
+//
+// Deprecated: Use Analyzer.Analyze with NewRequest(AnalyzeChase, rules,
+// WithDatabase(db), WithVariant(v), WithChaseBudgets(opt)) instead.
 func RunChaseContext(ctx context.Context, db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*ChaseResult, error) {
+	rep, err := Analyzer{}.Analyze(ctx, NewRequest(AnalyzeChase, rules,
+		WithDatabase(db), WithVariant(v), WithChaseBudgets(opt)))
+	if rep == nil {
+		return nil, err
+	}
+	return rep.Chase, err
+}
+
+// runChase is the chase-run implementation behind Analyzer.Analyze.
+func runChase(ctx context.Context, db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*ChaseResult, error) {
 	res, err := chase.RunFromAtomsContext(ctx, db.atoms, rules.rs, v.engine(), chase.Options{
 		MaxTriggers: opt.MaxTriggers,
 		MaxFacts:    opt.MaxFacts,
@@ -486,6 +518,9 @@ type Verdict struct {
 // undecidable and the verdict may be Unknown. For the restricted chase no
 // exact procedure is known (the paper's future work); weak acyclicity is
 // used as a sound sufficient condition and Unknown is returned otherwise.
+//
+// Deprecated: Use Analyzer.Analyze with NewRequest(AnalyzeDecide, rules,
+// WithVariant(v)) instead.
 func DecideTermination(rules *RuleSet, v Variant) (*Verdict, error) {
 	return DecideTerminationOpts(rules, v, DecideOptions{})
 }
@@ -494,6 +529,9 @@ func DecideTermination(rules *RuleSet, v Variant) (*Verdict, error) {
 // decision procedure polls it at its fixpoint/worklist boundaries and a
 // canceled or expired context surfaces as ctx.Err() (context.Canceled /
 // context.DeadlineExceeded) well before any search budget is exhausted.
+//
+// Deprecated: Use Analyzer.Analyze with NewRequest(AnalyzeDecide, rules,
+// WithVariant(v)) instead.
 func DecideTerminationContext(ctx context.Context, rules *RuleSet, v Variant) (*Verdict, error) {
 	return DecideTerminationOptsContext(ctx, rules, v, DecideOptions{})
 }
@@ -521,13 +559,30 @@ type DecideOptions struct {
 }
 
 // DecideTerminationOpts is DecideTermination with explicit budgets.
+//
+// Deprecated: Use Analyzer.Analyze with NewRequest(AnalyzeDecide, rules,
+// WithVariant(v), WithDecideBudgets(opt)) instead.
 func DecideTerminationOpts(rules *RuleSet, v Variant, opt DecideOptions) (*Verdict, error) {
 	return DecideTerminationOptsContext(context.Background(), rules, v, opt)
 }
 
 // DecideTerminationOptsContext is DecideTerminationOpts honoring a
 // context; see DecideTerminationContext for the cancellation contract.
+//
+// Deprecated: Use Analyzer.Analyze with NewRequest(AnalyzeDecide, rules,
+// WithVariant(v), WithDecideBudgets(opt)) instead.
 func DecideTerminationOptsContext(ctx context.Context, rules *RuleSet, v Variant, opt DecideOptions) (*Verdict, error) {
+	rep, err := Analyzer{}.Analyze(ctx, NewRequest(AnalyzeDecide, rules,
+		WithVariant(v), WithDecideBudgets(opt)))
+	if err != nil {
+		return nil, err
+	}
+	return rep.Verdict, nil
+}
+
+// decideTermination is the all-instance decision procedure behind
+// Analyzer.Analyze.
+func decideTermination(ctx context.Context, rules *RuleSet, v Variant, opt DecideOptions) (*Verdict, error) {
 	class := rules.Classify()
 	if v == Restricted {
 		return decideRestricted(ctx, rules, class, opt)
@@ -578,7 +633,7 @@ func fromCoreVerdict(v *core.Verdict, class Class) *Verdict {
 // restricted chase applies a subset of the semi-oblivious triggers on
 // every database), so an exact Yes for CT^so transfers.
 func decideRestricted(ctx context.Context, rules *RuleSet, class Class, opt DecideOptions) (*Verdict, error) {
-	so, err := DecideTerminationOptsContext(ctx, rules, SemiOblivious, opt)
+	so, err := decideTermination(ctx, rules, SemiOblivious, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -608,6 +663,9 @@ func decideRestricted(ctx context.Context, rules *RuleSet, class Class, opt Deci
 // The restricted variant reports Yes when the semi-oblivious chase of the
 // database terminates (its triggers subsume the restricted ones) and
 // Unknown otherwise.
+//
+// Deprecated: Use Analyzer.Analyze with NewRequest(AnalyzeDecide, rules,
+// WithDatabase(db), WithVariant(v)) instead.
 func DecideTerminationOnDatabase(db *Database, rules *RuleSet, v Variant) (*Verdict, error) {
 	return DecideTerminationOnDatabaseContext(context.Background(), db, rules, v)
 }
@@ -615,10 +673,25 @@ func DecideTerminationOnDatabase(db *Database, rules *RuleSet, v Variant) (*Verd
 // DecideTerminationOnDatabaseContext is DecideTerminationOnDatabase
 // honoring a context; see DecideTerminationContext for the cancellation
 // contract.
+//
+// Deprecated: Use Analyzer.Analyze with NewRequest(AnalyzeDecide, rules,
+// WithDatabase(db), WithVariant(v)) instead.
 func DecideTerminationOnDatabaseContext(ctx context.Context, db *Database, rules *RuleSet, v Variant) (*Verdict, error) {
+	rep, err := Analyzer{}.Analyze(ctx, NewRequest(AnalyzeDecide, rules,
+		WithDatabase(db), WithVariant(v)))
+	if err != nil {
+		return nil, err
+	}
+	return rep.Verdict, nil
+}
+
+// decideOnDatabase is the fixed-database decision procedure behind
+// Analyzer.Analyze. opt bounds the abstraction search and the bounded
+// fallback run exactly as in the all-instance decision.
+func decideOnDatabase(ctx context.Context, db *Database, rules *RuleSet, v Variant, opt DecideOptions) (*Verdict, error) {
 	class := rules.Classify()
 	if v == Restricted {
-		so, err := DecideTerminationOnDatabaseContext(ctx, db, rules, SemiOblivious)
+		so, err := decideOnDatabase(ctx, db, rules, SemiOblivious, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -633,9 +706,10 @@ func DecideTerminationOnDatabaseContext(ctx context.Context, db *Database, rules
 	if v == Oblivious {
 		cv = core.VariantOblivious
 	}
+	coreOpts := core.Options{MaxShapes: opt.MaxShapes, MaxNodeTypes: opt.MaxNodeTypes}
 	switch class {
 	case SimpleLinear, Linear:
-		res, err := core.DecideLinearOnContext(ctx, rules.rs, db.atoms, cv, core.Options{})
+		res, err := core.DecideLinearOnContext(ctx, rules.rs, db.atoms, cv, coreOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -648,7 +722,7 @@ func DecideTerminationOnDatabaseContext(ctx context.Context, db *Database, rules
 			target = critical.AuxTransform(rules.rs)
 			method = "guarded-forest(aux,fixed-db)"
 		}
-		res, err := core.DecideGuardedOnContext(ctx, target, db.atoms, core.Options{})
+		res, err := core.DecideGuardedOnContext(ctx, target, db.atoms, coreOpts)
 		if err != nil {
 			return nil, err
 		}
@@ -656,7 +730,14 @@ func DecideTerminationOnDatabaseContext(ctx context.Context, db *Database, rules
 		out := fromCoreVerdict(res.Verdict, class)
 		return out, nil
 	default:
-		run, err := RunChaseContext(ctx, db, rules, v, ChaseOptions{MaxTriggers: 200_000, MaxFacts: 200_000})
+		budgets := ChaseOptions{MaxTriggers: 200_000, MaxFacts: 200_000}
+		if opt.OracleMaxTriggers > 0 {
+			budgets.MaxTriggers = opt.OracleMaxTriggers
+		}
+		if opt.OracleMaxFacts > 0 {
+			budgets.MaxFacts = opt.OracleMaxFacts
+		}
+		run, err := runChase(ctx, db, rules, v, budgets)
 		if err != nil {
 			return nil, err
 		}
@@ -686,7 +767,16 @@ type AcyclicityReport struct {
 
 // CheckAcyclicity evaluates the positional acyclicity criteria on the rule
 // set.
+//
+// Deprecated: Use Analyzer.Analyze with NewRequest(AnalyzeAcyclicity,
+// rules) — or attach WithAcyclicity() to any other request — instead.
 func CheckAcyclicity(rules *RuleSet) AcyclicityReport {
+	return checkAcyclicity(rules)
+}
+
+// checkAcyclicity is the positional-criteria evaluation behind
+// Analyzer.Analyze.
+func checkAcyclicity(rules *RuleSet) AcyclicityReport {
 	var rep AcyclicityReport
 	var w *acyclicity.Witness
 	rep.RichlyAcyclic, w = acyclicity.IsRichlyAcyclic(rules.rs)

@@ -1,0 +1,209 @@
+// Package client is the first-class Go client of the chaseterm
+// analysis service (cmd/chased). It speaks the versioned wire contract
+// of package api over POST /v2/analyze, takes a context on every call,
+// maps error envelopes back to typed *api.Error values, and retries
+// boundedly when the server answers 503 (a replica shutting down or
+// overloaded).
+//
+//	c := client.New("http://localhost:8080")
+//	resp, err := c.Analyze(ctx, api.AnalyzeRequest{
+//		Kind:  api.KindDecide,
+//		Rules: "person(X) -> hasFather(X,Y), person(Y).",
+//	})
+//	var apiErr *api.Error
+//	if errors.As(err, &apiErr) && apiErr.Code == api.CodeUnprocessable {
+//		// the instance exhausted its search budget — raise it and retry
+//	}
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"chaseterm/api"
+)
+
+// Client talks to one analysis-service base URL. Create with New; the
+// zero value is not usable. Client is safe for concurrent use.
+type Client struct {
+	base    string
+	httpc   *http.Client
+	retries int
+	backoff time.Duration
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default
+// http.DefaultClient). Per-call deadlines belong on the context, not on
+// the HTTP client's Timeout, so that one slow analysis does not need a
+// client-wide setting.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.httpc = h }
+}
+
+// WithRetries sets how many times a request that failed with a
+// retryable code (503 / "unavailable") is retried before the error is
+// returned (default 2, i.e. at most 3 attempts total). Zero disables
+// retrying.
+func WithRetries(n int) Option {
+	return func(c *Client) {
+		if n >= 0 {
+			c.retries = n
+		}
+	}
+}
+
+// WithRetryBackoff sets the pause between retry attempts (default
+// 100ms). The pause honors the call's context.
+func WithRetryBackoff(d time.Duration) Option {
+	return func(c *Client) {
+		if d > 0 {
+			c.backoff = d
+		}
+	}
+}
+
+// New builds a client for the service at baseURL (e.g.
+// "http://localhost:8080"; a trailing slash is tolerated).
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base:    strings.TrimRight(baseURL, "/"),
+		httpc:   http.DefaultClient,
+		retries: 2,
+		backoff: 100 * time.Millisecond,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Analyze runs one analysis on the server and returns its response.
+// Server-reported failures come back as *api.Error (recover with
+// errors.As) carrying the machine-readable code and the HTTP status;
+// transport failures come back as the underlying error. Requests whose
+// failure code is retryable (503 "unavailable") are retried up to the
+// configured budget before the error is returned.
+func (c *Client) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	var out api.AnalyzeResponse
+	if err := c.post(ctx, "/v2/analyze", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Batch fans a job list across the server's worker pool and returns one
+// response per job in input order; per-job failures are reported inline
+// via AnalyzeResponse.Error rather than failing the call.
+func (c *Client) Batch(ctx context.Context, jobs []api.AnalyzeRequest) ([]api.AnalyzeResponse, error) {
+	body, err := json.Marshal(api.BatchRequest{Jobs: jobs})
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding batch: %w", err)
+	}
+	var out api.BatchResponse
+	if err := c.post(ctx, "/v2/batch", body, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// Healthy reports whether the server answers its liveness probe.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: healthz answered %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// post sends body to path and decodes a 2xx answer into out, retrying
+// on retryable failures.
+func (c *Client) post(ctx context.Context, path string, body []byte, out any) error {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		lastErr = c.once(ctx, path, body, out)
+		if lastErr == nil {
+			return nil
+		}
+		var apiErr *api.Error
+		if !errors.As(lastErr, &apiErr) || !apiErr.Code.Retryable() || attempt >= c.retries {
+			return lastErr
+		}
+		select {
+		case <-time.After(c.backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+func (c *Client) once(ctx context.Context, path string, body []byte, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decoding response: %w", err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx response into a typed *api.Error. A body
+// that is not a v2 envelope (a proxy's HTML 502 page, say) degrades to
+// an error synthesized from the status line.
+func decodeError(resp *http.Response) error {
+	data, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(data, &env); err == nil && env.Error != nil && env.Error.Code != "" {
+		env.Error.HTTPStatus = resp.StatusCode
+		return env.Error
+	}
+	code := api.CodeInternal
+	switch resp.StatusCode {
+	case http.StatusServiceUnavailable:
+		code = api.CodeUnavailable
+	case http.StatusBadRequest:
+		code = api.CodeBadRequest
+	case http.StatusRequestEntityTooLarge:
+		code = api.CodeTooLarge
+	case http.StatusUnprocessableEntity:
+		code = api.CodeUnprocessable
+	case http.StatusGatewayTimeout:
+		code = api.CodeTimeout
+	}
+	msg := strings.TrimSpace(string(data))
+	if msg == "" {
+		msg = resp.Status
+	}
+	return &api.Error{Code: code, Message: msg, HTTPStatus: resp.StatusCode}
+}

@@ -1,0 +1,169 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"chaseterm/api"
+)
+
+func envelope(w http.ResponseWriter, code api.Code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code.HTTPStatus())
+	json.NewEncoder(w).Encode(api.ErrorEnvelope{Error: &api.Error{Code: code, Message: msg}}) //nolint:errcheck
+}
+
+func TestAnalyzeMapsEnvelopeToTypedError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/analyze" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		envelope(w, api.CodeUnprocessable, "node-type budget exceeded")
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL)
+	_, err := c.Analyze(context.Background(), api.AnalyzeRequest{Kind: api.KindDecide, Rules: "p(X) -> q(X)."})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err %T %v, want *api.Error", err, err)
+	}
+	if apiErr.Code != api.CodeUnprocessable || apiErr.HTTPStatus != 422 {
+		t.Errorf("got %+v", apiErr)
+	}
+	if apiErr.Message != "node-type budget exceeded" {
+		t.Errorf("message %q", apiErr.Message)
+	}
+}
+
+// TestAnalyzeRetriesOn503: "unavailable" is the one retryable failure —
+// a replica draining on shutdown; the client retries boundedly and
+// succeeds against the recovered server.
+func TestAnalyzeRetriesOn503(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			envelope(w, api.CodeUnavailable, "engine is shutting down")
+			return
+		}
+		json.NewEncoder(w).Encode(api.AnalyzeResponse{Kind: api.KindClassify, Class: "linear"}) //nolint:errcheck
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(2), WithRetryBackoff(time.Millisecond))
+	resp, err := c.Analyze(context.Background(), api.AnalyzeRequest{Kind: api.KindClassify, Rules: "p(X,X) -> q(X)."})
+	if err != nil {
+		t.Fatalf("after retries: %v", err)
+	}
+	if resp.Class != "linear" || calls.Load() != 3 {
+		t.Errorf("resp %+v after %d calls", resp, calls.Load())
+	}
+}
+
+func TestAnalyzeRetryBudgetExhausted(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		envelope(w, api.CodeUnavailable, "still down")
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(2), WithRetryBackoff(time.Millisecond))
+	_, err := c.Analyze(context.Background(), api.AnalyzeRequest{Kind: api.KindClassify, Rules: "p(X) -> q(X)."})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeUnavailable {
+		t.Fatalf("err %v, want unavailable", err)
+	}
+	if calls.Load() != 3 {
+		t.Errorf("made %d attempts, want 3 (1 + 2 retries)", calls.Load())
+	}
+}
+
+// TestNonRetryableErrorsAreNotRetried: a 400 is the client's own bug;
+// replaying it can only waste the server's time.
+func TestNonRetryableErrorsAreNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		envelope(w, api.CodeBadRequest, "no rules")
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(5), WithRetryBackoff(time.Millisecond))
+	_, err := c.Analyze(context.Background(), api.AnalyzeRequest{Kind: api.KindDecide})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeBadRequest {
+		t.Fatalf("err %v, want bad_request", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("made %d attempts, want 1", calls.Load())
+	}
+}
+
+// TestRetryHonorsContext: a context canceled between attempts ends the
+// retry loop with the context error, not another round trip.
+func TestRetryHonorsContext(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		envelope(w, api.CodeUnavailable, "down")
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	c := New(srv.URL, WithRetries(100), WithRetryBackoff(time.Hour))
+	start := time.Now()
+	_, err := c.Analyze(ctx, api.AnalyzeRequest{Kind: api.KindClassify, Rules: "p(X) -> q(X)."})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("retry loop ignored the context while backing off")
+	}
+	if calls.Load() != 1 {
+		t.Errorf("made %d attempts before the deadline, want 1", calls.Load())
+	}
+}
+
+// TestNonEnvelopeErrorBody: a proxy's plain-text 503 still maps to a
+// typed, retryable error.
+func TestNonEnvelopeErrorBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "upstream connect error", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := New(srv.URL, WithRetries(0))
+	_, err := c.Analyze(context.Background(), api.AnalyzeRequest{Kind: api.KindClassify, Rules: "p(X) -> q(X)."})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err %T, want *api.Error", err)
+	}
+	if apiErr.Code != api.CodeUnavailable || apiErr.HTTPStatus != 503 {
+		t.Errorf("got %+v", apiErr)
+	}
+}
+
+func TestHealthy(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.WriteHeader(http.StatusOK)
+			return
+		}
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer srv.Close()
+	if err := New(srv.URL).Healthy(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := New(srv.URL + "/missing").Healthy(context.Background()); err == nil {
+		t.Fatal("health check against a 404 passed")
+	}
+}

@@ -77,13 +77,18 @@ func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers
 	}
 	fmt.Printf("rules: %d (%s), database: %d facts, variant: %s\n",
 		rules.NumRules(), rules.Classify(), db.Size(), v)
-	res, err := chaseterm.RunChaseContext(ctx, db, rules, v, chaseterm.ChaseOptions{
-		MaxTriggers: maxTriggers,
-		MaxFacts:    maxFacts,
-	})
-	if err != nil && res == nil {
+	var analyzer chaseterm.Analyzer
+	rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules,
+		chaseterm.WithDatabase(db),
+		chaseterm.WithVariant(v),
+		chaseterm.WithChaseBudgets(chaseterm.ChaseOptions{
+			MaxTriggers: maxTriggers,
+			MaxFacts:    maxFacts,
+		})))
+	if rep == nil {
 		return err
 	}
+	res := rep.Chase
 	fmt.Printf("outcome: %s\n", res.Outcome)
 	s := res.Stats
 	fmt.Printf("facts: %d initial + %d derived\n", s.InitialFacts, s.FactsAdded)

@@ -7,18 +7,25 @@
 //
 //	chased [-addr :8080] [-workers N] [-cache-size N] [-timeout 30s]
 //
-// Endpoints:
+// Endpoints — the versioned contract (package api; kind in the body):
 //
-//	POST /v1/classify  {"rules": "..."}                     syntactic class + schema
-//	POST /v1/decide    {"rules": "...", "variant": "so"}    all-instance termination verdict
-//	POST /v1/chase     {"rules": "...", "database": "..."}  bounded chase run
-//	POST /v1/batch     {"jobs": [...]}                      fan a job list across the pool
+//	POST /v2/analyze   {"kind": "classify|decide|chase|acyclicity", "rules": "...", ...}
+//	POST /v2/batch     {"jobs": [...]}                      fan a job list across the pool
 //	GET  /healthz                                           liveness
 //	GET  /v1/stats                                          cache + latency counters
 //
+// and the v1 compatibility shims (flat bodies, kind implied by route):
+//
+//	POST /v1/classify, /v1/decide, /v1/chase, /v1/batch
+//
+// Errors carry machine-readable codes: v2 responds with the envelope
+// {"error": {"code": "...", "message": "..."}}; package client is the
+// Go client for this contract.
+//
 // Example:
 //
-//	curl -s localhost:8080/v1/decide -d '{"rules": "person(X) -> hasFather(X,Y), person(Y)."}'
+//	curl -s localhost:8080/v2/analyze \
+//	  -d '{"kind": "decide", "rules": "person(X) -> hasFather(X,Y), person(Y)."}'
 package main
 
 import (

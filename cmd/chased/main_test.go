@@ -45,26 +45,53 @@ func TestServerLifecycle(t *testing.T) {
 		t.Fatalf("healthz status %d", resp.StatusCode)
 	}
 
+	// The versioned route: kind in the body, api types on the wire.
 	body, _ := json.Marshal(map[string]string{
+		"kind":  "decide",
 		"rules": "person(X) -> hasFather(X,Y), person(Y).",
 	})
-	resp, err = http.Post(base+"/v1/decide", "application/json", bytes.NewReader(body))
+	resp, err = http.Post(base+"/v2/analyze", "application/json", bytes.NewReader(body))
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("decide status %d", resp.StatusCode)
+		t.Fatalf("analyze status %d", resp.StatusCode)
 	}
 	var out struct {
-		Terminates  string `json:"terminates"`
 		Fingerprint string `json:"fingerprint"`
+		Decision    struct {
+			Terminates string `json:"terminates"`
+		} `json:"decision"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	if out.Terminates != "non-terminating" || len(out.Fingerprint) != 64 {
-		t.Fatalf("decide response %+v", out)
+	if out.Decision.Terminates != "non-terminating" || len(out.Fingerprint) != 64 {
+		t.Fatalf("analyze response %+v", out)
+	}
+
+	// The v1 compatibility shim still answers with the flat shape.
+	legacyBody, _ := json.Marshal(map[string]string{
+		"rules": "person(X) -> hasFather(X,Y), person(Y).",
+	})
+	legacyResp, err := http.Post(base+"/v1/decide", "application/json", bytes.NewReader(legacyBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer legacyResp.Body.Close()
+	var legacy struct {
+		Terminates string `json:"terminates"`
+		Cached     bool   `json:"cached"`
+	}
+	if err := json.NewDecoder(legacyResp.Body).Decode(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Terminates != "non-terminating" {
+		t.Fatalf("v1 shim response %+v", legacy)
+	}
+	if !legacy.Cached {
+		t.Fatal("v1 shim did not share the verdict cache with /v2/analyze")
 	}
 
 	cancel()

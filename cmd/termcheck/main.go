@@ -25,6 +25,10 @@ import (
 	"chaseterm"
 )
 
+// analyzer is the unified entry point; every decision below goes
+// through one Analyze call.
+var analyzer chaseterm.Analyzer
+
 func main() {
 	variant := flag.String("variant", "all", "chase variant: o|so|r|all")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
@@ -82,14 +86,15 @@ func runFixedDB(ctx context.Context, variantName, rulesPath, dbPath string) erro
 	fmt.Printf("rules: %d (%s); database: %d facts — fixed-database decision\n",
 		rules.NumRules(), rules.Classify(), db.Size())
 	for _, v := range variants {
-		verdict, err := chaseterm.DecideTerminationOnDatabaseContext(ctx, db, rules, v)
+		rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+			chaseterm.WithVariant(v), chaseterm.WithDatabase(db)))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nchase of this database (%s): %s\n", v, verdict.Terminates)
-		fmt.Printf("  method: %s\n", verdict.Method)
-		if verdict.Witness != "" {
-			fmt.Printf("  witness: %s\n", verdict.Witness)
+		fmt.Printf("\nchase of this database (%s): %s\n", v, rep.Verdict.Terminates)
+		fmt.Printf("  method: %s\n", rep.Verdict.Method)
+		if rep.Verdict.Witness != "" {
+			fmt.Printf("  witness: %s\n", rep.Verdict.Witness)
 		}
 	}
 	return nil
@@ -118,26 +123,32 @@ func runJSON(ctx context.Context, variantName, rulesPath string) error {
 	if err != nil {
 		return err
 	}
-	acyc := chaseterm.CheckAcyclicity(rules)
+	// One acyclicity request covers the criteria ladder; its report's
+	// classification block fills the schema fields as well.
+	base, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeAcyclicity, rules))
+	if err != nil {
+		return err
+	}
 	rep := jsonReport{
-		Rules:          rules.NumRules(),
-		Class:          rules.Classify().String(),
-		MaxArity:       rules.MaxArity(),
-		RichlyAcyclic:  acyc.RichlyAcyclic,
-		WeaklyAcyclic:  acyc.WeaklyAcyclic,
-		JointlyAcyclic: acyc.JointlyAcyclic,
+		Rules:          base.NumRules,
+		Class:          base.Class.String(),
+		MaxArity:       base.MaxArity,
+		RichlyAcyclic:  base.Acyclicity.RichlyAcyclic,
+		WeaklyAcyclic:  base.Acyclicity.WeaklyAcyclic,
+		JointlyAcyclic: base.Acyclicity.JointlyAcyclic,
 		Verdicts:       map[string]jsonVerdict{},
 	}
 	for _, v := range variants {
-		verdict, err := chaseterm.DecideTerminationContext(ctx, rules, v)
+		res, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+			chaseterm.WithVariant(v)))
 		if err != nil {
 			return err
 		}
 		rep.Verdicts[shortName(v)] = jsonVerdict{
-			Terminates:  verdict.Terminates.String(),
-			Method:      verdict.Method,
-			Witness:     verdict.Witness,
-			SearchSpace: verdict.SearchSpace,
+			Terminates:  res.Verdict.Terminates.String(),
+			Method:      res.Verdict.Method,
+			Witness:     res.Verdict.Witness,
+			SearchSpace: res.Verdict.SearchSpace,
 		}
 	}
 	enc := json.NewEncoder(os.Stdout)
@@ -170,23 +181,27 @@ func run(ctx context.Context, variantName, rulesPath string) error {
 	if err != nil {
 		return err
 	}
+	base, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeAcyclicity, rules))
+	if err != nil {
+		return err
+	}
 	fmt.Printf("rules: %d, class: %s, max arity: %d\n",
-		rules.NumRules(), rules.Classify(), rules.MaxArity())
-	rep := chaseterm.CheckAcyclicity(rules)
+		base.NumRules, base.Class, base.MaxArity)
 	fmt.Printf("positional criteria: rich-acyclic=%v weak-acyclic=%v jointly-acyclic=%v\n",
-		rep.RichlyAcyclic, rep.WeaklyAcyclic, rep.JointlyAcyclic)
+		base.Acyclicity.RichlyAcyclic, base.Acyclicity.WeaklyAcyclic, base.Acyclicity.JointlyAcyclic)
 	for _, v := range variants {
-		verdict, err := chaseterm.DecideTerminationContext(ctx, rules, v)
+		rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+			chaseterm.WithVariant(v)))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("\nCT^%s: %s\n", shortName(v), verdict.Terminates)
-		fmt.Printf("  method: %s\n", verdict.Method)
-		if verdict.SearchSpace > 0 {
-			fmt.Printf("  search space: %d abstract states\n", verdict.SearchSpace)
+		fmt.Printf("\nCT^%s: %s\n", shortName(v), rep.Verdict.Terminates)
+		fmt.Printf("  method: %s\n", rep.Verdict.Method)
+		if rep.Verdict.SearchSpace > 0 {
+			fmt.Printf("  search space: %d abstract states\n", rep.Verdict.SearchSpace)
 		}
-		if verdict.Witness != "" {
-			fmt.Printf("  witness: %s\n", verdict.Witness)
+		if rep.Verdict.Witness != "" {
+			fmt.Printf("  witness: %s\n", rep.Verdict.Witness)
 		}
 	}
 	return nil

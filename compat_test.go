@@ -1,0 +1,67 @@
+package chaseterm_test
+
+import (
+	"context"
+
+	"chaseterm"
+)
+
+// Compile-time pins of the pre-Analyzer facade. The functions below are
+// deprecated wrappers over Analyzer.Analyze, but their signatures are
+// public API: if any of these assignments stops compiling, a released
+// caller breaks. Change this file only with a major-version bump.
+var (
+	_ func(string) (*chaseterm.RuleSet, error)     = chaseterm.ParseRules
+	_ func(string) *chaseterm.RuleSet              = chaseterm.MustParseRules
+	_ func(string) (*chaseterm.Database, error)    = chaseterm.ParseDatabase
+	_ func(string) *chaseterm.Database             = chaseterm.MustParseDatabase
+	_ func(string) (chaseterm.Variant, error)      = chaseterm.ParseVariant
+	_ func(*chaseterm.RuleSet) *chaseterm.Database = chaseterm.CriticalDatabase
+
+	_ func(*chaseterm.RuleSet, chaseterm.Variant) (*chaseterm.Verdict, error)                                           = chaseterm.DecideTermination
+	_ func(context.Context, *chaseterm.RuleSet, chaseterm.Variant) (*chaseterm.Verdict, error)                          = chaseterm.DecideTerminationContext
+	_ func(*chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)                  = chaseterm.DecideTerminationOpts
+	_ func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error) = chaseterm.DecideTerminationOptsContext
+	_ func(*chaseterm.Database, *chaseterm.RuleSet, chaseterm.Variant) (*chaseterm.Verdict, error)                      = chaseterm.DecideTerminationOnDatabase
+	_ func(context.Context, *chaseterm.Database, *chaseterm.RuleSet, chaseterm.Variant) (*chaseterm.Verdict, error)     = chaseterm.DecideTerminationOnDatabaseContext
+
+	_ func(*chaseterm.Database, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.ChaseOptions) (*chaseterm.ChaseResult, error)                  = chaseterm.RunChase
+	_ func(context.Context, *chaseterm.Database, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.ChaseOptions) (*chaseterm.ChaseResult, error) = chaseterm.RunChaseContext
+
+	_ func(*chaseterm.RuleSet) chaseterm.AcyclicityReport                                                       = chaseterm.CheckAcyclicity
+	_ func(*chaseterm.Database, *chaseterm.RuleSet, chaseterm.ExploreOptions) (*chaseterm.ExploreResult, error) = chaseterm.ExploreRestrictedSequences
+	_ func(chaseterm.EntailmentInstance) (*chaseterm.RuleSet, error)                                            = chaseterm.LoopEntailment
+	_ func(chaseterm.EntailmentInstance) (bool, error)                                                          = chaseterm.Entails
+
+	// Result shapes: fields the old facade exposed must keep their types.
+	_ chaseterm.Ternary      = chaseterm.Verdict{}.Terminates
+	_ chaseterm.Class        = chaseterm.Verdict{}.Class
+	_ string                 = chaseterm.Verdict{}.Method
+	_ string                 = chaseterm.Verdict{}.Witness
+	_ int                    = chaseterm.Verdict{}.SearchSpace
+	_ chaseterm.ChaseOutcome = chaseterm.ChaseResult{}.Outcome
+	_ chaseterm.ChaseStats   = chaseterm.ChaseResult{}.Stats
+	_ bool                   = chaseterm.AcyclicityReport{}.RichlyAcyclic
+	_ bool                   = chaseterm.AcyclicityReport{}.WeaklyAcyclic
+	_ bool                   = chaseterm.AcyclicityReport{}.JointlyAcyclic
+)
+
+// Enum values are part of the wire-adjacent API as well.
+var (
+	_ = chaseterm.Oblivious
+	_ = chaseterm.SemiOblivious
+	_ = chaseterm.Restricted
+	_ = chaseterm.SimpleLinear
+	_ = chaseterm.Linear
+	_ = chaseterm.Guarded
+	_ = chaseterm.General
+	_ = chaseterm.Terminated
+	_ = chaseterm.BudgetExceeded
+	_ = chaseterm.DepthExceeded
+	_ = chaseterm.Canceled
+	_ = chaseterm.Unknown
+	_ = chaseterm.Yes
+	_ = chaseterm.No
+	_ = chaseterm.DefaultMaxShapes
+	_ = chaseterm.DefaultMaxNodeTypes
+)

@@ -1,10 +1,66 @@
 package chaseterm_test
 
 import (
+	"context"
 	"fmt"
 
 	"chaseterm"
 )
+
+// The unified entry point: one Analyze call decides termination and
+// reports the rule set's class and fingerprinted identity in one
+// Report.
+func ExampleAnalyzer_Analyze() {
+	var analyzer chaseterm.Analyzer
+	rules := chaseterm.MustParseRules(`person(X) -> hasFather(X,Y), person(Y).`)
+	rep, _ := analyzer.Analyze(context.Background(), chaseterm.NewRequest(
+		chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithVariant(chaseterm.SemiOblivious),
+	))
+	fmt.Println(rep.Class)
+	fmt.Println(rep.Verdict.Terminates)
+	// Output:
+	// simple-linear
+	// non-terminating
+}
+
+// Options compose: attaching a database turns the decision into the
+// fixed-database problem, and WithAcyclicity rides the positional
+// criteria along any request.
+func ExampleAnalyzer_Analyze_composed() {
+	var analyzer chaseterm.Analyzer
+	rules := chaseterm.MustParseRules(`p(X,Y) -> p(Y,Z).`)
+	db := chaseterm.MustParseDatabase(`q(a).`) // no p-facts: inert
+	rep, _ := analyzer.Analyze(context.Background(), chaseterm.NewRequest(
+		chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithDatabase(db),
+		chaseterm.WithAcyclicity(),
+	))
+	fmt.Println("on this database:", rep.Verdict.Terminates)
+	fmt.Println("weakly acyclic:  ", rep.Acyclicity.WeaklyAcyclic)
+	// Output:
+	// on this database: terminating
+	// weakly acyclic:   false
+}
+
+// A chase run through the Analyzer: the report carries the full
+// ChaseResult, so queries over the universal model work as before.
+func ExampleAnalyzer_Analyze_chase() {
+	var analyzer chaseterm.Analyzer
+	rules := chaseterm.MustParseRules(`advises(X,Y) -> professor(X).`)
+	db := chaseterm.MustParseDatabase(`advises(turing, ada).`)
+	rep, _ := analyzer.Analyze(context.Background(), chaseterm.NewRequest(
+		chaseterm.AnalyzeChase, rules,
+		chaseterm.WithDatabase(db),
+		chaseterm.WithVariant(chaseterm.Restricted),
+	))
+	fmt.Println(rep.Chase.Outcome)
+	profs, _ := rep.Chase.Query(`professor(P)`, "P")
+	fmt.Println(profs)
+	// Output:
+	// terminated
+	// [[turing]]
+}
 
 // The paper's Example 1: deciding, for every database at once, that the
 // chase cannot terminate.

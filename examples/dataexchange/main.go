@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,18 +38,22 @@ dept(books, dan).
 `
 
 func main() {
+	ctx := context.Background()
+	var analyzer chaseterm.Analyzer
+
 	rules, err := chaseterm.ParseRules(mapping)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("mapping: %d st-tgds, class %s\n", rules.NumRules(), rules.Classify())
 
-	verdict, err := chaseterm.DecideTermination(rules, chaseterm.Restricted)
+	cert, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithVariant(chaseterm.Restricted)))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("termination certificate: %s (%s)\n\n", verdict.Terminates, verdict.Method)
-	if verdict.Terminates != chaseterm.Yes {
+	fmt.Printf("mapping: %d st-tgds, class %s\n", cert.NumRules, cert.Class)
+	fmt.Printf("termination certificate: %s (%s)\n\n", cert.Verdict.Terminates, cert.Verdict.Method)
+	if cert.Verdict.Terminates != chaseterm.Yes {
 		log.Fatal("mapping not certified terminating")
 	}
 
@@ -56,10 +61,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := chaseterm.RunChase(db, rules, chaseterm.Restricted, chaseterm.ChaseOptions{})
+	rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules,
+		chaseterm.WithDatabase(db), chaseterm.WithVariant(chaseterm.Restricted)))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := rep.Chase
 	fmt.Printf("universal solution (%s; %d source + %d target facts):\n",
 		res.Outcome, res.Stats.InitialFacts, res.Stats.FactsAdded)
 	for _, f := range res.Facts() {
@@ -81,11 +88,13 @@ func main() {
 	fmt.Println("\nengine comparison on the same input:")
 	for _, v := range []chaseterm.Variant{chaseterm.Oblivious, chaseterm.SemiOblivious, chaseterm.Restricted} {
 		db, _ := chaseterm.ParseDatabase(source)
-		r, err := chaseterm.RunChase(db, rules, v, chaseterm.ChaseOptions{})
+		run, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules,
+			chaseterm.WithDatabase(db), chaseterm.WithVariant(v)))
 		if err != nil {
 			log.Fatal(err)
 		}
+		s := run.Chase.Stats
 		fmt.Printf("  %-15s triggers=%d facts=%d noop=%d satisfied-skips=%d\n",
-			v, r.Stats.TriggersApplied, r.Stats.FactsAdded, r.Stats.TriggersNoop, r.Stats.TriggersSatisfied)
+			v, s.TriggersApplied, s.FactsAdded, s.TriggersNoop, s.TriggersSatisfied)
 	}
 }

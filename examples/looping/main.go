@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,6 +19,8 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	var analyzer chaseterm.Analyzer
 	rules := chaseterm.MustParseRules(`
 % guarded Datalog: reachability along edges
 edge(X,Y), reach(X) -> reach(Y).
@@ -42,15 +45,17 @@ reach(a).
 		if err != nil {
 			log.Fatal(err)
 		}
-		verdict, err := chaseterm.DecideTermination(looped, chaseterm.SemiOblivious)
+		rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, looped,
+			chaseterm.WithVariant(chaseterm.SemiOblivious)))
 		if err != nil {
 			log.Fatal(err)
 		}
+		verdict := rep.Verdict
 		derived := verdict.Terminates == chaseterm.No // non-termination ⟺ entailed
 
 		fmt.Printf("goal %s:\n", goal)
 		fmt.Printf("  direct entailment:            %v\n", truth)
-		fmt.Printf("  looped rule set:              %d rules, class %s\n", looped.NumRules(), looped.Classify())
+		fmt.Printf("  looped rule set:              %d rules, class %s\n", rep.NumRules, rep.Class)
 		fmt.Printf("  chase termination of Σ′:      %s (%s)\n", verdict.Terminates, verdict.Method)
 		fmt.Printf("  entailment via the reduction: %v\n", derived)
 		if derived != truth {

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,6 +37,9 @@ attends(ada, logic101).
 `
 
 func main() {
+	ctx := context.Background()
+	var analyzer chaseterm.Analyzer
+
 	rules, err := chaseterm.ParseRules(ontology)
 	if err != nil {
 		log.Fatal(err)
@@ -44,12 +48,13 @@ func main() {
 
 	// Certify termination before materializing — for every chase variant.
 	for _, v := range []chaseterm.Variant{chaseterm.Oblivious, chaseterm.SemiOblivious, chaseterm.Restricted} {
-		verdict, err := chaseterm.DecideTermination(rules, v)
+		rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+			chaseterm.WithVariant(v)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("  CT^%-15s %s (%s)\n", v.String()+":", verdict.Terminates, verdict.Method)
-		if verdict.Terminates == chaseterm.No {
+		fmt.Printf("  CT^%-15s %s (%s)\n", v.String()+":", rep.Verdict.Terminates, rep.Verdict.Method)
+		if rep.Verdict.Terminates == chaseterm.No {
 			log.Fatal("ontology chase would diverge; aborting materialization")
 		}
 	}
@@ -58,10 +63,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := chaseterm.RunChase(db, rules, chaseterm.Restricted, chaseterm.ChaseOptions{})
+	rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules,
+		chaseterm.WithDatabase(db), chaseterm.WithVariant(chaseterm.Restricted)))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := rep.Chase
 	fmt.Printf("\nmaterialized ABox (%s, %d facts, %d triggers):\n",
 		res.Outcome, db.Size()+res.Stats.FactsAdded, res.Stats.TriggersApplied)
 	for _, f := range res.Facts() {

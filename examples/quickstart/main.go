@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,9 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
+	var analyzer chaseterm.Analyzer
+
 	rules, err := chaseterm.ParseRules(`
 % Example 1 of Calautti, Gottlob, Pieris (PODS 2015):
 person(X) -> hasFather(X,Y), person(Y).
@@ -29,22 +33,27 @@ person(X) -> hasFather(X,Y), person(Y).
 	// Exact termination decisions. For simple-linear rules these are the
 	// critical-acyclicity characterizations of Theorem 1.
 	for _, v := range []chaseterm.Variant{chaseterm.Oblivious, chaseterm.SemiOblivious} {
-		verdict, err := chaseterm.DecideTermination(rules, v)
+		rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+			chaseterm.WithVariant(v)))
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("CT^%-15s %s  (method: %s)\n", v.String()+":", verdict.Terminates, verdict.Method)
-		if verdict.Witness != "" {
-			fmt.Printf("  witness: %s\n", verdict.Witness)
+		fmt.Printf("CT^%-15s %s  (method: %s)\n", v.String()+":", rep.Verdict.Terminates, rep.Verdict.Method)
+		if rep.Verdict.Witness != "" {
+			fmt.Printf("  witness: %s\n", rep.Verdict.Witness)
 		}
 	}
 
 	// Watch the divergence: 8 chase steps from person(bob).
 	db := chaseterm.MustParseDatabase(`person(bob).`)
-	res, err := chaseterm.RunChase(db, rules, chaseterm.SemiOblivious, chaseterm.ChaseOptions{MaxTriggers: 8})
+	rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules,
+		chaseterm.WithDatabase(db),
+		chaseterm.WithVariant(chaseterm.SemiOblivious),
+		chaseterm.WithChaseBudgets(chaseterm.ChaseOptions{MaxTriggers: 8})))
 	if err != nil {
 		log.Fatal(err)
 	}
+	res := rep.Chase
 	fmt.Printf("\nbounded chase run: %s after %d triggers, %d facts:\n",
 		res.Outcome, res.Stats.TriggersApplied, res.Stats.InitialFacts+res.Stats.FactsAdded)
 	for _, f := range res.Facts() {

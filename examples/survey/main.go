@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,24 +37,30 @@ func main() {
 	fmt.Printf("%-20s %-13s %-3s %-3s %-3s %-16s %-16s\n",
 		"rule set", "class", "RA", "WA", "JA", "CT^o", "CT^so")
 	fmt.Println(" (RA ⇒ CT^o; WA/JA ⇒ CT^so; the deciders are exact on linear/guarded sets)")
+	ctx := context.Background()
+	var analyzer chaseterm.Analyzer
 	for _, e := range batch {
 		rules, err := chaseterm.ParseRules(e.src)
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}
-		rep := chaseterm.CheckAcyclicity(rules)
-		o, err := chaseterm.DecideTermination(rules, chaseterm.Oblivious)
+		// One composite request per row: the oblivious verdict with the
+		// acyclicity ladder attached, then the semi-oblivious verdict.
+		o, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+			chaseterm.WithVariant(chaseterm.Oblivious), chaseterm.WithAcyclicity()))
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}
-		so, err := chaseterm.DecideTermination(rules, chaseterm.SemiOblivious)
+		so, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+			chaseterm.WithVariant(chaseterm.SemiOblivious)))
 		if err != nil {
 			log.Fatalf("%s: %v", e.name, err)
 		}
+		acyc := o.Acyclicity
 		fmt.Printf("%-20s %-13s %-3s %-3s %-3s %-16s %-16s\n",
-			e.name, rules.Classify(),
-			mark(rep.RichlyAcyclic), mark(rep.WeaklyAcyclic), mark(rep.JointlyAcyclic),
-			o.Terminates, so.Terminates)
+			e.name, o.Class,
+			mark(acyc.RichlyAcyclic), mark(acyc.WeaklyAcyclic), mark(acyc.JointlyAcyclic),
+			o.Verdict.Terminates, so.Verdict.Terminates)
 	}
 	fmt.Println("\nRows where RA/WA/JA say '·' but the verdict is 'terminating' are exactly")
 	fmt.Println("the cases the paper's Theorems 2 and 4 were needed for.")

@@ -1,31 +1,74 @@
 package service
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
+
+	"chaseterm/api"
 )
 
 // maxBodyBytes bounds request bodies; rule sets are text and even the
 // paper's hardest instances are tiny, so 8 MiB is generous.
 const maxBodyBytes = 8 << 20
 
-// NewHandler serves the engine over HTTP:
+// NewHandler serves the engine over HTTP.
+//
+// The versioned contract (package api, kind in the body):
+//
+//	POST /v2/analyze   api.AnalyzeRequest  → api.AnalyzeResponse
+//	POST /v2/batch     api.BatchRequest    → api.BatchResponse
+//
+// The v1 compatibility shims (flat bodies, kind implied by the route):
 //
 //	POST /v1/classify  {"rules": "..."}
 //	POST /v1/decide    {"rules": "...", "variant": "so"}
 //	POST /v1/chase     {"rules": "...", "database": "...", "variant": "r"}
 //	POST /v1/batch     {"jobs": [{"kind": "decide", ...}, ...]}
+//
+// And the operational endpoints:
+//
 //	GET  /healthz
 //	GET  /v1/stats
 //
 // Status codes: client mistakes 400, oversized bodies 413, analyses
 // that exhausted their search budget 422, client hang-ups 499, engine
-// shutdown 503, job timeouts 504. All error bodies are
-// {"error": "..."}.
+// shutdown 503, job timeouts 504. v2 error bodies are the envelope
+// {"error": {"code": "...", "message": "..."}}; v1 error bodies remain
+// {"error": "..."} with the machine-readable "code" added alongside.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
+
+	mux.HandleFunc("POST /v2/analyze", func(w http.ResponseWriter, r *http.Request) {
+		var req api.AnalyzeRequest
+		if apiErr := decodeStrict(w, r, &req); apiErr != nil {
+			writeV2Error(w, apiErr)
+			return
+		}
+		resp, err := e.Analyze(r.Context(), req)
+		if err != nil {
+			writeV2Error(w, toAPIError(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+
+	mux.HandleFunc("POST /v2/batch", func(w http.ResponseWriter, r *http.Request) {
+		var body api.BatchRequest
+		if apiErr := decodeStrict(w, r, &body); apiErr != nil {
+			writeV2Error(w, apiErr)
+			return
+		}
+		results, err := e.AnalyzeBatch(r.Context(), body.Jobs)
+		if err != nil {
+			writeV2Error(w, toAPIError(err))
+			return
+		}
+		writeJSON(w, http.StatusOK, api.BatchResponse{Results: results})
+	})
+
 	mux.HandleFunc("POST /v1/classify", jobHandler(e, KindClassify))
 	mux.HandleFunc("POST /v1/decide", jobHandler(e, KindDecide))
 	mux.HandleFunc("POST /v1/chase", jobHandler(e, KindChase))
@@ -33,16 +76,18 @@ func NewHandler(e *Engine) http.Handler {
 		var body struct {
 			Jobs []Request `json:"jobs"`
 		}
-		if !decodeJSON(w, r, &body) {
+		if apiErr := decodeStrict(w, r, &body); apiErr != nil {
+			writeV1Error(w, apiErr)
 			return
 		}
 		resps, err := e.Batch(r.Context(), body.Jobs)
 		if err != nil {
-			writeError(w, err)
+			writeV1Error(w, toAPIError(err))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"results": resps})
 	})
+
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -52,52 +97,67 @@ func NewHandler(e *Engine) http.Handler {
 	return mux
 }
 
+// jobHandler serves one v1 single-job route. The route implies the
+// kind; a body that spells out a *different* kind is a client bug
+// (most likely a request meant for another endpoint) and is rejected
+// rather than silently rewritten.
 func jobHandler(e *Engine, kind Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req Request
-		if !decodeJSON(w, r, &req) {
+		if apiErr := decodeStrict(w, r, &req); apiErr != nil {
+			writeV1Error(w, apiErr)
+			return
+		}
+		if req.Kind != "" && req.Kind != kind {
+			err := fmt.Errorf("%w: body kind %q contradicts route kind %q", ErrKindMismatch, req.Kind, kind)
+			writeV1Error(w, toAPIError(err))
 			return
 		}
 		req.Kind = kind
 		resp, err := e.Do(r.Context(), req)
 		if err != nil {
-			writeError(w, err)
+			writeV1Error(w, toAPIError(err))
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}
 }
 
-func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+// decodeStrict decodes the body as exactly one JSON value: unknown
+// fields are rejected (they are typos, not extensions), and so is
+// trailing data after the top-level value — a second Decode must report
+// io.EOF, otherwise the client concatenated two bodies or truncated its
+// buffer arithmetic, and silently analyzing only the first value would
+// mask that bug. Returns nil on success.
+func decodeStrict(w http.ResponseWriter, r *http.Request, dst any) *api.Error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(dst); err != nil {
-		status := http.StatusBadRequest
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			status = http.StatusRequestEntityTooLarge
+			return &api.Error{Code: api.CodeTooLarge, Message: "malformed request: " + err.Error()}
 		}
-		writeJSON(w, status, map[string]string{"error": "malformed request: " + err.Error()})
-		return false
+		return &api.Error{Code: api.CodeBadRequest, Message: "malformed request: " + err.Error()}
 	}
-	return true
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return &api.Error{Code: api.CodeBadRequest, Message: "malformed request: trailing data after the JSON body"}
+	}
+	return nil
 }
 
-func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, ErrBadRequest):
-		status = http.StatusBadRequest
-	case errors.Is(err, ErrUnprocessable):
-		status = http.StatusUnprocessableEntity
-	case errors.Is(err, context.DeadlineExceeded):
-		status = http.StatusGatewayTimeout
-	case errors.Is(err, context.Canceled):
-		status = 499 // client closed request (nginx convention)
-	case errors.Is(err, ErrClosed):
-		status = http.StatusServiceUnavailable
-	}
-	writeJSON(w, status, map[string]string{"error": err.Error()})
+// writeV2Error writes the versioned error envelope.
+func writeV2Error(w http.ResponseWriter, apiErr *api.Error) {
+	writeJSON(w, apiErr.Code.HTTPStatus(), api.ErrorEnvelope{Error: apiErr})
+}
+
+// writeV1Error writes the flat v1 error body. The "error" string is the
+// original contract; the "code" field is an additive improvement so v1
+// clients can branch on the error class too.
+func writeV1Error(w http.ResponseWriter, apiErr *api.Error) {
+	writeJSON(w, apiErr.Code.HTTPStatus(), map[string]string{
+		"error": apiErr.Message,
+		"code":  string(apiErr.Code),
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

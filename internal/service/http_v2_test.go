@@ -1,0 +1,308 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"chaseterm/api"
+)
+
+func postRaw(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestAnalyzeEndpointDecide(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	resp, data := postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{
+		Kind:  api.KindDecide,
+		Rules: example1,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out api.AnalyzeResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Kind != api.KindDecide || out.Class != "simple-linear" || len(out.Fingerprint) != 64 {
+		t.Errorf("base block wrong: %+v", out)
+	}
+	if out.Decision == nil || out.Decision.Terminates != "non-terminating" || out.Decision.Method == "" {
+		t.Errorf("decision block wrong: %+v", out.Decision)
+	}
+	if out.NumRules == nil || *out.NumRules != 1 {
+		t.Errorf("v2 responses always carry the schema block: %+v", out)
+	}
+
+	// Identical request → served from the shared verdict cache.
+	_, data = postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{Kind: api.KindDecide, Rules: example1})
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cached {
+		t.Error("repeat v2 decide not served from cache")
+	}
+}
+
+// TestAnalyzeSharesCacheWithV1: the v1 shim and the v2 route are one
+// engine; a verdict computed through either is a hit through the other.
+func TestAnalyzeSharesCacheWithV1(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	postJSON(t, srv.URL+"/v1/decide", Request{Rules: example1})
+	_, data := postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{Kind: api.KindDecide, Rules: example1})
+	var out api.AnalyzeResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cached {
+		t.Error("v2 request missed the verdict the v1 shim computed")
+	}
+}
+
+func TestAnalyzeEndpointChaseAndAcyclicity(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	resp, data := postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{
+		Kind:           api.KindChase,
+		Rules:          `professor(X) -> teaches(X,C). teaches(X,C) -> course(C).`,
+		Database:       `professor(turing).`,
+		Variant:        "r",
+		ReturnFacts:    true,
+		WithAcyclicity: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out api.AnalyzeResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Chase == nil || out.Chase.Outcome != "terminated" || out.Chase.Stats.FactsAdded == 0 {
+		t.Errorf("chase block wrong: %+v", out.Chase)
+	}
+	if len(out.Chase.Facts) == 0 {
+		t.Error("returnFacts ignored")
+	}
+	if out.Acyclicity == nil || !out.Acyclicity.WeaklyAcyclic {
+		t.Errorf("withAcyclicity block wrong: %+v", out.Acyclicity)
+	}
+
+	// Dedicated acyclicity kind.
+	resp, data = postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{
+		Kind:  api.KindAcyclicity,
+		Rules: "p(X) -> q(X,Y).\nq(X,Y), q(Y,X) -> p(Y).",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("acyclicity status %d: %s", resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Acyclicity == nil || out.Acyclicity.WeaklyAcyclic || !out.Acyclicity.JointlyAcyclic {
+		t.Errorf("acyclicity report wrong: %+v", out.Acyclicity)
+	}
+}
+
+// TestAnalyzeDecideOnDatabase: a database on a decide job switches to
+// the fixed-database problem — new capability of the v2 contract.
+func TestAnalyzeDecideOnDatabase(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	_, data := postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{
+		Kind:     api.KindDecide,
+		Rules:    `p(X,Y) -> p(Y,Z).`,
+		Database: `q(a).`, // no p-facts: the dangerous rule never fires
+	})
+	var out api.AnalyzeResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Decision == nil || out.Decision.Terminates != "terminating" {
+		t.Errorf("fixed-db decision wrong: %+v", out.Decision)
+	}
+	if !strings.Contains(out.Decision.Method, "fixed-db") {
+		t.Errorf("method %q does not name the fixed-db procedure", out.Decision.Method)
+	}
+}
+
+func TestAnalyzeErrorEnvelope(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	cases := []struct {
+		name     string
+		body     string
+		wantCode api.Code
+		wantHTTP int
+	}{
+		{"bad rules", `{"kind": "decide", "rules": "nope nope"}`, api.CodeBadRequest, 400},
+		{"unknown kind", `{"kind": "mystery", "rules": "p(X) -> q(X)."}`, api.CodeBadRequest, 400},
+		{"missing kind", `{"rules": "p(X) -> q(X)."}`, api.CodeBadRequest, 400},
+		{"unknown field", `{"kind": "decide", "rules": "p(X) -> q(X).", "varient": "so"}`, api.CodeBadRequest, 400},
+		{"budget exceeded", `{"kind": "decide", "rules": "gate(X,Y), live(X) -> out(Y,Z), live(Z).", "maxNodeTypes": 1}`, api.CodeUnprocessable, 422},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postRaw(t, srv.URL+"/v2/analyze", tc.body)
+			if resp.StatusCode != tc.wantHTTP {
+				t.Fatalf("status %d (%s), want %d", resp.StatusCode, data, tc.wantHTTP)
+			}
+			var env api.ErrorEnvelope
+			if err := json.Unmarshal(data, &env); err != nil || env.Error == nil {
+				t.Fatalf("not an error envelope: %s", data)
+			}
+			if env.Error.Code != tc.wantCode || env.Error.Message == "" {
+				t.Errorf("envelope %+v, want code %s", env.Error, tc.wantCode)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsTrailingGarbage: the body must be exactly one JSON
+// value. Concatenated bodies previously had everything after the first
+// value silently ignored — masking client bugs.
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	good := `{"kind": "classify", "rules": "p(X) -> q(X)."}`
+	for _, route := range []string{"/v2/analyze", "/v1/classify"} {
+		t.Run(route, func(t *testing.T) {
+			// Sanity: the clean body succeeds.
+			resp, data := postRaw(t, srv.URL+route, good)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("clean body: status %d (%s)", resp.StatusCode, data)
+			}
+			// The same body with a second value appended must be a 400.
+			resp, data = postRaw(t, srv.URL+route, good+` {"kind": "chase"}`)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("trailing garbage: status %d (%s), want 400", resp.StatusCode, data)
+			}
+			if !strings.Contains(string(data), "trailing data") {
+				t.Errorf("error body does not name the problem: %s", data)
+			}
+		})
+	}
+	// The v1 error carries the additive machine-readable code.
+	resp, data := postRaw(t, srv.URL+"/v1/classify", good+`42`)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(data, &body); err != nil || body["code"] != string(api.CodeBadRequest) {
+		t.Errorf("v1 error body %s, want code %q", data, api.CodeBadRequest)
+	}
+}
+
+// TestV1KindMismatchRejected: a body-supplied kind that contradicts the
+// route is a client bug (a request meant for another endpoint) and must
+// be rejected, not silently rewritten to the route's kind.
+func TestV1KindMismatchRejected(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	resp, data := postJSON(t, srv.URL+"/v1/decide", Request{Kind: KindChase, Rules: example1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d (%s), want 400", resp.StatusCode, data)
+	}
+	var body map[string]string
+	if err := json.Unmarshal(data, &body); err != nil {
+		t.Fatal(err)
+	}
+	if body["code"] != string(api.CodeKindMismatch) {
+		t.Errorf("code %q, want %q", body["code"], api.CodeKindMismatch)
+	}
+	if !strings.Contains(body["error"], "chase") || !strings.Contains(body["error"], "decide") {
+		t.Errorf("error %q does not name both kinds", body["error"])
+	}
+
+	// A matching explicit kind is fine.
+	resp, data = postJSON(t, srv.URL+"/v1/decide", Request{Kind: KindDecide, Rules: example1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("matching kind: status %d (%s)", resp.StatusCode, data)
+	}
+}
+
+// TestV1DecideIgnoresDatabase: the v1 decide contract always answered
+// the all-instance problem and ignored a stray database field; the shim
+// must preserve that — the fixed-database decision is v2-only.
+func TestV1DecideIgnoresDatabase(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	resp, data := postJSON(t, srv.URL+"/v1/decide", Request{
+		Rules:    `p(X,Y) -> p(Y,Z).`,
+		Database: `q(a).`, // inert for this rule set
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out Response
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	// All-instance: non-terminating. The fixed-db answer on this inert
+	// database would be "terminating" — that must not leak into v1.
+	if out.Terminates != "non-terminating" {
+		t.Errorf("v1 decide with a database answered %q — the shim switched to the fixed-database problem", out.Terminates)
+	}
+}
+
+// TestV1RejectsV2OnlyKinds: "acyclicity" is valid in the v2 model but
+// was never a v1 kind; the flat Response cannot carry its result, so
+// the shim must report the unknown kind instead of silently dropping
+// the analysis.
+func TestV1RejectsV2OnlyKinds(t *testing.T) {
+	eng := New(Options{Workers: 1})
+	defer eng.Close()
+	ctx := context.Background()
+	if _, err := eng.Do(ctx, Request{Kind: "acyclicity", Rules: `p(X) -> q(X).`}); !errors.Is(err, ErrBadRequest) {
+		t.Errorf("Do accepted the v2-only kind: %v", err)
+	}
+	resps, err := eng.Batch(ctx, []Request{
+		{Kind: KindClassify, Rules: `p(X) -> q(X).`},
+		{Kind: "acyclicity", Rules: `p(X) -> q(X).`},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Error != "" {
+		t.Errorf("healthy v1 job failed: %s", resps[0].Error)
+	}
+	if !strings.Contains(resps[1].Error, "unknown job kind") {
+		t.Errorf("batch entry error %q, want unknown job kind", resps[1].Error)
+	}
+}
+
+func TestV2BatchEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 4})
+	resp, data := postJSON(t, srv.URL+"/v2/batch", api.BatchRequest{Jobs: []api.AnalyzeRequest{
+		{Kind: api.KindClassify, Rules: `p(X) -> q(X).`},
+		{Kind: api.KindDecide, Rules: `broken`},
+		{Kind: api.KindAcyclicity, Rules: `p(X) -> q(X,Y).`},
+	}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out api.BatchResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	if out.Results[0].Class != "simple-linear" || out.Results[0].Error != nil {
+		t.Errorf("result 0: %+v", out.Results[0])
+	}
+	if out.Results[1].Error == nil || out.Results[1].Error.Code != api.CodeBadRequest {
+		t.Errorf("result 1 should carry a coded error: %+v", out.Results[1])
+	}
+	if out.Results[2].Acyclicity == nil || !out.Results[2].Acyclicity.WeaklyAcyclic {
+		t.Errorf("result 2: %+v", out.Results[2])
+	}
+}

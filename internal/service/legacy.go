@@ -1,0 +1,199 @@
+package service
+
+import (
+	"context"
+	"fmt"
+
+	"chaseterm/api"
+)
+
+// This file is the v1 compatibility shim: the flat request/response
+// model the service spoke before the versioned api package existed.
+// The /v1/* routes and the Do/Batch entry points keep serving it
+// unchanged; internally every job is converted to the api wire model
+// and runs through Engine.Analyze, so v1 and v2 requests share the
+// cache, the pool, and the stats. New callers should use the api types
+// (POST /v2/analyze, Engine.Analyze).
+
+// Kind selects the analysis a v1 Job runs.
+type Kind string
+
+const (
+	KindClassify Kind = "classify"
+	KindDecide   Kind = "decide"
+	KindChase    Kind = "chase"
+)
+
+// Request is one v1 analysis job. Kind is implied by the HTTP endpoint
+// for the single-job routes and required per job in a batch.
+type Request struct {
+	Kind  Kind   `json:"kind,omitempty"`
+	Rules string `json:"rules"`
+	// Variant applies to decide and chase jobs; empty means
+	// semi-oblivious, the variant the paper's exact procedures target.
+	Variant string `json:"variant,omitempty"`
+	// Database holds ground facts for chase jobs; empty means chase the
+	// critical instance of the rule set.
+	Database string `json:"database,omitempty"`
+
+	// Decide budgets (zero = library defaults).
+	MaxShapes    int `json:"maxShapes,omitempty"`
+	MaxNodeTypes int `json:"maxNodeTypes,omitempty"`
+
+	// Chase budgets (zero = library defaults).
+	MaxTriggers int `json:"maxTriggers,omitempty"`
+	MaxFacts    int `json:"maxFacts,omitempty"`
+	MaxDepth    int `json:"maxDepth,omitempty"`
+	// ReturnFacts includes the final instance in a chase response;
+	// off by default because instances can be large.
+	ReturnFacts bool `json:"returnFacts,omitempty"`
+}
+
+// v1KindValid reports whether k was a kind the v1 wire defined.
+// "acyclicity" exists only in the v2 model; letting it through the v1
+// shim would run an analysis whose result the flat Response cannot
+// carry.
+func v1KindValid(k Kind) bool {
+	switch k {
+	case KindClassify, KindDecide, KindChase:
+		return true
+	}
+	return false
+}
+
+// toAPI lifts a v1 request into the versioned wire model.
+func (r Request) toAPI() api.AnalyzeRequest {
+	database := r.Database
+	if r.Kind == KindDecide {
+		// v1 decide jobs always answered the all-instance problem and
+		// ignored a stray database field; keep that contract — the
+		// fixed-database decision is a v2 capability.
+		database = ""
+	}
+	return api.AnalyzeRequest{
+		Kind:         api.Kind(r.Kind),
+		Rules:        r.Rules,
+		Variant:      r.Variant,
+		Database:     database,
+		MaxShapes:    r.MaxShapes,
+		MaxNodeTypes: r.MaxNodeTypes,
+		MaxTriggers:  r.MaxTriggers,
+		MaxFacts:     r.MaxFacts,
+		MaxDepth:     r.MaxDepth,
+		ReturnFacts:  r.ReturnFacts,
+	}
+}
+
+// Response is the flat v1 result of one job. Exactly the fields
+// relevant to the job's kind are populated; Error is set instead when a
+// batch entry fails (single-job routes report errors at the HTTP
+// level).
+type Response struct {
+	Kind        Kind   `json:"kind"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Error       string `json:"error,omitempty"`
+
+	// classify. The numeric fields are pointers so that a legitimate
+	// zero (a nullary-predicate schema has MaxArity 0) is emitted
+	// rather than dropped by omitempty: present ⇔ meaningful.
+	Class      string   `json:"class,omitempty"`
+	NumRules   *int     `json:"numRules,omitempty"`
+	MaxArity   *int     `json:"maxArity,omitempty"`
+	Predicates []string `json:"predicates,omitempty"`
+
+	// decide
+	Terminates  string `json:"terminates,omitempty"`
+	Method      string `json:"method,omitempty"`
+	Witness     string `json:"witness,omitempty"`
+	SearchSpace *int   `json:"searchSpace,omitempty"`
+	// Cached reports that the verdict came from the cache (stored entry
+	// or a deduplicated concurrent flight).
+	Cached bool `json:"cached,omitempty"`
+
+	// chase
+	Outcome string      `json:"outcome,omitempty"`
+	Chase   *ChaseStats `json:"chaseStats,omitempty"`
+	Facts   []string    `json:"facts,omitempty"`
+}
+
+// ChaseStats mirrors chaseterm.ChaseStats with JSON tags.
+type ChaseStats struct {
+	InitialFacts      int `json:"initialFacts"`
+	FactsAdded        int `json:"factsAdded"`
+	TriggersApplied   int `json:"triggersApplied"`
+	TriggersNoop      int `json:"triggersNoop"`
+	TriggersSatisfied int `json:"triggersSatisfied"`
+	MaxTermDepth      int `json:"maxTermDepth"`
+}
+
+// fromAPI flattens a v2 response into the v1 shape, populating exactly
+// the fields the v1 wire populated for the job's kind.
+func fromAPI(resp *api.AnalyzeResponse) *Response {
+	out := &Response{
+		Kind:        Kind(resp.Kind),
+		Fingerprint: resp.Fingerprint,
+		Cached:      resp.Cached,
+	}
+	switch resp.Kind {
+	case api.KindClassify:
+		out.Class = resp.Class
+		out.NumRules = resp.NumRules
+		out.MaxArity = resp.MaxArity
+		out.Predicates = resp.Predicates
+	case api.KindDecide:
+		if d := resp.Decision; d != nil {
+			out.Class = d.Class
+			out.Terminates = d.Terminates
+			out.Method = d.Method
+			out.Witness = d.Witness
+			out.SearchSpace = intp(d.SearchSpace)
+		}
+	case api.KindChase:
+		if c := resp.Chase; c != nil {
+			out.Outcome = c.Outcome
+			out.Chase = &ChaseStats{
+				InitialFacts:      c.Stats.InitialFacts,
+				FactsAdded:        c.Stats.FactsAdded,
+				TriggersApplied:   c.Stats.TriggersApplied,
+				TriggersNoop:      c.Stats.TriggersNoop,
+				TriggersSatisfied: c.Stats.TriggersSatisfied,
+				MaxTermDepth:      c.Stats.MaxTermDepth,
+			}
+			out.Facts = c.Facts
+		}
+	}
+	return out
+}
+
+// Do runs one v1 job to completion and returns its response. Client
+// mistakes are reported as ErrBadRequest wrappers; an expired per-job
+// timeout or caller context surfaces as the context error.
+func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+	if !v1KindValid(req.Kind) {
+		return nil, fmt.Errorf("%w: unknown job kind %q", ErrBadRequest, req.Kind)
+	}
+	resp, err := e.Analyze(ctx, req.toAPI())
+	if err != nil {
+		return nil, err
+	}
+	return fromAPI(resp), nil
+}
+
+// Batch runs the v1 jobs across the worker pool and returns responses
+// in input order. Per-job failures are reported inline via
+// Response.Error; the call itself fails only for client mistakes at the
+// batch level.
+func (e *Engine) Batch(ctx context.Context, reqs []Request) ([]*Response, error) {
+	if err := e.checkBatchSize(len(reqs)); err != nil {
+		return nil, err
+	}
+	out := make([]*Response, len(reqs))
+	fanOut(len(reqs), func(i int) {
+		resp, err := e.Do(ctx, reqs[i])
+		if err != nil {
+			resp = &Response{Kind: reqs[i].Kind, Error: err.Error()}
+		}
+		out[i] = resp
+	})
+	return out, nil
+}

@@ -1,13 +1,18 @@
 // Package service is the concurrent termination-analysis engine behind
 // cmd/chased: a content-addressed verdict cache with singleflight
 // deduplication, a worker-pool executor with per-job timeouts, and the
-// JSON request/response model served over HTTP by NewHandler.
+// HTTP layer that serves the versioned wire contract of package api.
 //
 // The decision procedures of the paper are expensive by nature (PSPACE-
 // complete for linear rules, 2EXPTIME-complete for guarded ones), so the
 // engine amortizes them: identical rule sets are recognized by their
 // canonical fingerprint (RuleSet.Fingerprint), verdicts are cached, and
 // N concurrent identical requests cost a single decision.
+//
+// The engine speaks api.AnalyzeRequest/api.AnalyzeResponse end-to-end
+// (Analyze, AnalyzeBatch, served as POST /v2/analyze and /v2/batch);
+// the flat v1 request/response model is kept as a compatibility shim
+// (Request, Response, Do, Batch, the /v1/* routes).
 package service
 
 import (
@@ -20,17 +25,23 @@ import (
 	"time"
 
 	"chaseterm"
+	"chaseterm/api"
 )
 
 // ErrBadRequest wraps client errors (malformed rules, unknown variant,
-// unknown job kind); the HTTP layer maps it to 400.
+// unknown job kind); the HTTP layer maps it to 400 / "bad_request".
 var ErrBadRequest = errors.New("bad request")
+
+// ErrKindMismatch wraps requests whose body-supplied kind contradicts
+// the kind implied by a v1 route. It is a bad request (400), but keeps
+// its own wire code "kind_mismatch" so clients can tell the two apart.
+var ErrKindMismatch = fmt.Errorf("%w: kind mismatch", ErrBadRequest)
 
 // ErrUnprocessable wraps analyses that ran but could not finish within
 // their search-space budgets (e.g. a shape or node-type cap from the
 // request, or the library default, was exceeded). These are a property
 // of the submitted instance, not a server fault; the HTTP layer maps
-// them to 422.
+// them to 422 / "unprocessable".
 var ErrUnprocessable = errors.New("analysis failed")
 
 // maxRequestBudget caps every client-supplied search budget. Workers
@@ -40,81 +51,6 @@ var ErrUnprocessable = errors.New("analysis failed")
 // human timescale". It sits well above every library default (1e6
 // facts/triggers/shapes, 250k node types).
 const maxRequestBudget = 10_000_000
-
-// Kind selects the analysis a Job runs.
-type Kind string
-
-const (
-	KindClassify Kind = "classify"
-	KindDecide   Kind = "decide"
-	KindChase    Kind = "chase"
-)
-
-// Request is one analysis job. Kind is implied by the HTTP endpoint for
-// the single-job routes and required per job in a batch.
-type Request struct {
-	Kind  Kind   `json:"kind,omitempty"`
-	Rules string `json:"rules"`
-	// Variant applies to decide and chase jobs; empty means
-	// semi-oblivious, the variant the paper's exact procedures target.
-	Variant string `json:"variant,omitempty"`
-	// Database holds ground facts for chase jobs; empty means chase the
-	// critical instance of the rule set.
-	Database string `json:"database,omitempty"`
-
-	// Decide budgets (zero = library defaults).
-	MaxShapes    int `json:"maxShapes,omitempty"`
-	MaxNodeTypes int `json:"maxNodeTypes,omitempty"`
-
-	// Chase budgets (zero = library defaults).
-	MaxTriggers int `json:"maxTriggers,omitempty"`
-	MaxFacts    int `json:"maxFacts,omitempty"`
-	MaxDepth    int `json:"maxDepth,omitempty"`
-	// ReturnFacts includes the final instance in a chase response;
-	// off by default because instances can be large.
-	ReturnFacts bool `json:"returnFacts,omitempty"`
-}
-
-// Response is the result of one job. Exactly the fields relevant to the
-// job's kind are populated; Error is set instead when a batch entry
-// fails (single-job routes report errors at the HTTP level).
-type Response struct {
-	Kind        Kind   `json:"kind"`
-	Fingerprint string `json:"fingerprint,omitempty"`
-	Error       string `json:"error,omitempty"`
-
-	// classify. The numeric fields are pointers so that a legitimate
-	// zero (a nullary-predicate schema has MaxArity 0) is emitted
-	// rather than dropped by omitempty: present ⇔ meaningful.
-	Class      string   `json:"class,omitempty"`
-	NumRules   *int     `json:"numRules,omitempty"`
-	MaxArity   *int     `json:"maxArity,omitempty"`
-	Predicates []string `json:"predicates,omitempty"`
-
-	// decide
-	Terminates  string `json:"terminates,omitempty"`
-	Method      string `json:"method,omitempty"`
-	Witness     string `json:"witness,omitempty"`
-	SearchSpace *int   `json:"searchSpace,omitempty"`
-	// Cached reports that the verdict came from the cache (stored entry
-	// or a deduplicated concurrent flight).
-	Cached bool `json:"cached,omitempty"`
-
-	// chase
-	Outcome string      `json:"outcome,omitempty"`
-	Chase   *ChaseStats `json:"chaseStats,omitempty"`
-	Facts   []string    `json:"facts,omitempty"`
-}
-
-// ChaseStats mirrors chaseterm.ChaseStats with JSON tags.
-type ChaseStats struct {
-	InitialFacts      int `json:"initialFacts"`
-	FactsAdded        int `json:"factsAdded"`
-	TriggersApplied   int `json:"triggersApplied"`
-	TriggersNoop      int `json:"triggersNoop"`
-	TriggersSatisfied int `json:"triggersSatisfied"`
-	MaxTermDepth      int `json:"maxTermDepth"`
-}
 
 // Options configure an Engine; zero values select the defaults noted on
 // each field.
@@ -128,11 +64,11 @@ type Options struct {
 	JobTimeout time.Duration
 	// MaxBatch bounds jobs per Batch call (default 256).
 	MaxBatch int
-	// DecideFunc overrides the decision procedure — for tests and
-	// instrumentation wrappers. Nil means
-	// chaseterm.DecideTerminationOptsContext. Implementations must honor
-	// the context: it carries the job's deadline, and ignoring it keeps a
-	// worker slot pinned after the client's request has already failed.
+	// DecideFunc overrides the all-instance decision procedure — for
+	// tests and instrumentation wrappers. Nil means the library decider
+	// (chaseterm.Analyzer). Implementations must honor the context: it
+	// carries the job's deadline, and ignoring it keeps a worker slot
+	// pinned after the client's request has already failed.
 	DecideFunc func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
 }
 
@@ -144,6 +80,8 @@ type Engine struct {
 	pool   *workerPool
 	stats  *Stats
 	decide func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
+
+	facade chaseterm.Analyzer
 }
 
 // New builds an Engine and starts its workers.
@@ -160,17 +98,24 @@ func New(opts Options) *Engine {
 	if opts.MaxBatch <= 0 {
 		opts.MaxBatch = 256
 	}
-	decide := opts.DecideFunc
-	if decide == nil {
-		decide = chaseterm.DecideTerminationOptsContext
+	e := &Engine{
+		opts:  opts,
+		cache: newVerdictCache(opts.CacheSize),
+		pool:  newWorkerPool(opts.Workers),
+		stats: newStats(),
 	}
-	return &Engine{
-		opts:   opts,
-		cache:  newVerdictCache(opts.CacheSize),
-		pool:   newWorkerPool(opts.Workers),
-		stats:  newStats(),
-		decide: decide,
+	e.decide = opts.DecideFunc
+	if e.decide == nil {
+		e.decide = func(ctx context.Context, rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
+			rep, err := e.facade.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+				chaseterm.WithVariant(v), chaseterm.WithDecideBudgets(opt)))
+			if err != nil {
+				return nil, err
+			}
+			return rep.Verdict, nil
+		}
 	}
+	return e
 }
 
 // Close stops the worker pool; in-flight jobs finish first.
@@ -186,10 +131,11 @@ func (e *Engine) Stats() *Stats { return e.stats }
 // StatsSnapshot captures the counters for serialization.
 func (e *Engine) StatsSnapshot() Snapshot { return e.stats.snapshot(e.cache.Len()) }
 
-// Do runs one job to completion and returns its response. Client
-// mistakes are reported as ErrBadRequest wrappers; an expired per-job
-// timeout or caller context surfaces as the context error.
-func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
+// Analyze runs one analysis job to completion and returns its response
+// in the v2 wire model. Client mistakes are reported as ErrBadRequest
+// wrappers; an expired per-job timeout or caller context surfaces as
+// the context error.
+func (e *Engine) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
 	e.stats.inFlight.Add(1)
 	start := time.Now()
 	resp, err := e.dispatch(ctx, req)
@@ -198,7 +144,10 @@ func (e *Engine) Do(ctx context.Context, req Request) (*Response, error) {
 	return resp, err
 }
 
-func (e *Engine) dispatch(ctx context.Context, req Request) (*Response, error) {
+func (e *Engine) dispatch(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+	if !req.Kind.Valid() {
+		return nil, fmt.Errorf("%w: unknown job kind %q", ErrBadRequest, req.Kind)
+	}
 	rules, err := chaseterm.ParseRules(req.Rules)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
@@ -208,38 +157,96 @@ func (e *Engine) dispatch(ctx context.Context, req Request) (*Response, error) {
 	}
 	ctx, cancel := context.WithTimeout(ctx, e.opts.JobTimeout)
 	defer cancel()
+	var resp *api.AnalyzeResponse
 	switch req.Kind {
-	case KindClassify:
-		return e.doClassify(ctx, rules)
-	case KindDecide:
-		return e.doDecide(ctx, req, rules)
-	case KindChase:
-		return e.doChase(ctx, req, rules)
-	default:
-		return nil, fmt.Errorf("%w: unknown job kind %q", ErrBadRequest, req.Kind)
+	case api.KindClassify, api.KindAcyclicity:
+		// Classification and the positional criteria are cheap syntactic
+		// passes over the already-parsed rules — answered inline, far too
+		// light to be worth a worker slot or the risk of queueing behind
+		// a heavy decision.
+		resp, err = e.doInline(ctx, req, rules)
+	case api.KindDecide:
+		resp, err = e.doDecide(ctx, req, rules)
+	case api.KindChase:
+		resp, err = e.doChase(ctx, req, rules)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// The cached decide path is the one place the acyclicity report
+	// cannot ride the primary facade call (the verdict may come from the
+	// cache without any facade call at all); attach it here.
+	if req.WithAcyclicity && resp.Acyclicity == nil {
+		rep, err := e.facade.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeAcyclicity, rules))
+		if err != nil {
+			return nil, wrapExecErr(err)
+		}
+		resp.Acyclicity = apiAcyclicity(rep.Acyclicity)
+	}
+	return resp, nil
 }
 
-// doClassify answers inline: classification is a pure syntactic pass
-// over the already-parsed rules, far too cheap to be worth a worker
-// slot or the risk of queueing behind a heavy decision.
-func (e *Engine) doClassify(_ context.Context, rules *chaseterm.RuleSet) (*Response, error) {
-	return &Response{
-		Kind:        KindClassify,
+// baseResponse fills the sections every response carries: the kind echo
+// and the classification block.
+func baseResponse(kind api.Kind, rules *chaseterm.RuleSet) *api.AnalyzeResponse {
+	return &api.AnalyzeResponse{
+		Kind:        kind,
 		Fingerprint: rules.Fingerprint(),
 		Class:       rules.Classify().String(),
 		NumRules:    intp(rules.NumRules()),
 		MaxArity:    intp(rules.MaxArity()),
 		Predicates:  rules.Predicates(),
-	}, nil
+	}
+}
+
+// respFromReport converts a full facade report — classification block
+// plus whatever sections the request produced — to the wire shape.
+func respFromReport(kind api.Kind, rep *chaseterm.Report, includeFacts bool) *api.AnalyzeResponse {
+	resp := &api.AnalyzeResponse{
+		Kind:        kind,
+		Fingerprint: rep.Fingerprint,
+		Class:       rep.Class.String(),
+		NumRules:    intp(rep.NumRules),
+		MaxArity:    intp(rep.MaxArity),
+		Predicates:  rep.Predicates,
+	}
+	if rep.Verdict != nil {
+		resp.Decision = apiDecision(rep.Verdict)
+	}
+	if rep.Chase != nil {
+		resp.Chase = apiChaseRun(rep.Chase, includeFacts)
+	}
+	if rep.Acyclicity != nil {
+		resp.Acyclicity = apiAcyclicity(rep.Acyclicity)
+	}
+	return resp
 }
 
 func intp(v int) *int { return &v }
 
-func (e *Engine) doDecide(ctx context.Context, req Request, rules *chaseterm.RuleSet) (*Response, error) {
+func (e *Engine) doInline(ctx context.Context, req api.AnalyzeRequest, rules *chaseterm.RuleSet) (*api.AnalyzeResponse, error) {
+	kind := chaseterm.AnalyzeClassify
+	if req.Kind == api.KindAcyclicity {
+		kind = chaseterm.AnalyzeAcyclicity
+	}
+	var opts []chaseterm.RequestOption
+	if req.WithAcyclicity {
+		opts = append(opts, chaseterm.WithAcyclicity())
+	}
+	rep, err := e.facade.Analyze(ctx, chaseterm.NewRequest(kind, rules, opts...))
+	if err != nil {
+		return nil, wrapExecErr(err)
+	}
+	return respFromReport(req.Kind, rep, false), nil
+}
+
+func (e *Engine) doDecide(ctx context.Context, req api.AnalyzeRequest, rules *chaseterm.RuleSet) (*api.AnalyzeResponse, error) {
 	variant, err := parseVariant(req.Variant)
 	if err != nil {
 		return nil, err
+	}
+	if strings.TrimSpace(req.Database) != "" {
+		return e.doDecideOnDatabase(ctx, req, rules, variant)
 	}
 	// Normalize budgets before keying: an explicitly spelled-out
 	// default must hit the same cache entry as an omitted one.
@@ -250,8 +257,8 @@ func (e *Engine) doDecide(ctx context.Context, req Request, rules *chaseterm.Rul
 	if nodeTypes == chaseterm.DefaultMaxNodeTypes {
 		nodeTypes = 0
 	}
-	fp := rules.Fingerprint()
-	key := fmt.Sprintf("decide|%s|%s|%d|%d", fp, variant, shapes, nodeTypes)
+	resp := baseResponse(api.KindDecide, rules)
+	key := fmt.Sprintf("decide|%s|%s|%d|%d", resp.Fingerprint, variant, shapes, nodeTypes)
 	val, hit, err := e.cache.Do(ctx, key, func() (any, error) {
 		// The flight is shared: deduplicated waiters ride on this one
 		// computation, so it must not die with the leader's request.
@@ -275,52 +282,140 @@ func (e *Engine) doDecide(ctx context.Context, req Request, rules *chaseterm.Rul
 	} else {
 		e.stats.cacheMisses.Add(1)
 	}
-	verdict := val.(*chaseterm.Verdict)
-	return &Response{
-		Kind:        KindDecide,
-		Fingerprint: fp,
-		Cached:      hit,
-		Class:       verdict.Class.String(),
-		Terminates:  verdict.Terminates.String(),
-		Method:      verdict.Method,
-		Witness:     verdict.Witness,
-		SearchSpace: intp(verdict.SearchSpace),
-	}, nil
+	resp.Cached = hit
+	resp.Decision = apiDecision(val.(*chaseterm.Verdict))
+	return resp, nil
 }
 
-func (e *Engine) doChase(ctx context.Context, req Request, rules *chaseterm.RuleSet) (*Response, error) {
-	variant, err := parseVariant(req.Variant)
+// doDecideOnDatabase answers the fixed-database decision problem. The
+// verdict depends on the database, which is not part of the verdict
+// cache's content address, so these decisions run uncached (still
+// pool-bounded and deadline-bounded).
+func (e *Engine) doDecideOnDatabase(ctx context.Context, req api.AnalyzeRequest, rules *chaseterm.RuleSet, variant chaseterm.Variant) (*api.AnalyzeResponse, error) {
+	db, err := chaseterm.ParseDatabase(req.Database)
 	if err != nil {
-		return nil, err
-	}
-	var db *chaseterm.Database
-	if strings.TrimSpace(req.Database) == "" {
-		db = chaseterm.CriticalDatabase(rules)
-	} else if db, err = chaseterm.ParseDatabase(req.Database); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 	}
+	opts := []chaseterm.RequestOption{
+		chaseterm.WithVariant(variant),
+		chaseterm.WithDatabase(db),
+		chaseterm.WithDecideBudgets(chaseterm.DecideOptions{
+			MaxShapes:    req.MaxShapes,
+			MaxNodeTypes: req.MaxNodeTypes,
+		}),
+	}
+	if req.WithAcyclicity {
+		opts = append(opts, chaseterm.WithAcyclicity())
+	}
 	val, err := e.pool.Do(ctx, func(ctx context.Context) (any, error) {
-		res, err := chaseterm.RunChaseContext(ctx, db, rules, variant, chaseterm.ChaseOptions{
-			MaxTriggers: req.MaxTriggers,
-			MaxFacts:    req.MaxFacts,
-			MaxDepth:    req.MaxDepth,
-		})
-		if err == nil && req.ReturnFacts {
-			// Rendering millions of facts is real work; do it inside
-			// the worker slot so it counts against admission control.
-			res.Facts()
-		}
-		return res, err
+		return e.facade.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules, opts...))
 	})
 	if err != nil {
 		return nil, wrapExecErr(err)
 	}
-	res := val.(*chaseterm.ChaseResult)
-	resp := &Response{
-		Kind:        KindChase,
-		Fingerprint: rules.Fingerprint(),
-		Outcome:     res.Outcome.String(),
-		Chase: &ChaseStats{
+	return respFromReport(api.KindDecide, val.(*chaseterm.Report), false), nil
+}
+
+func (e *Engine) doChase(ctx context.Context, req api.AnalyzeRequest, rules *chaseterm.RuleSet) (*api.AnalyzeResponse, error) {
+	variant, err := parseVariant(req.Variant)
+	if err != nil {
+		return nil, err
+	}
+	opts := []chaseterm.RequestOption{
+		chaseterm.WithVariant(variant),
+		chaseterm.WithChaseBudgets(chaseterm.ChaseOptions{
+			MaxTriggers: req.MaxTriggers,
+			MaxFacts:    req.MaxFacts,
+			MaxDepth:    req.MaxDepth,
+		}),
+	}
+	if strings.TrimSpace(req.Database) != "" {
+		db, err := chaseterm.ParseDatabase(req.Database)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		opts = append(opts, chaseterm.WithDatabase(db))
+	}
+	if req.ReturnFacts {
+		// Rendering millions of facts is real work; WithFacts makes the
+		// facade do it inside the worker slot so it counts against
+		// admission control.
+		opts = append(opts, chaseterm.WithFacts())
+	}
+	if req.WithAcyclicity {
+		opts = append(opts, chaseterm.WithAcyclicity())
+	}
+	val, err := e.pool.Do(ctx, func(ctx context.Context) (any, error) {
+		return e.facade.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules, opts...))
+	})
+	if err != nil {
+		return nil, wrapExecErr(err)
+	}
+	return respFromReport(api.KindChase, val.(*chaseterm.Report), req.ReturnFacts), nil
+}
+
+// checkBatchSize enforces the batch-level admission rules shared by the
+// v1 and v2 batch entry points.
+func (e *Engine) checkBatchSize(n int) error {
+	if n == 0 {
+		return fmt.Errorf("%w: empty batch", ErrBadRequest)
+	}
+	if n > e.opts.MaxBatch {
+		return fmt.Errorf("%w: batch of %d exceeds the limit of %d", ErrBadRequest, n, e.opts.MaxBatch)
+	}
+	return nil
+}
+
+// fanOut runs f(0..n-1) concurrently and waits for all of them; the
+// worker pool inside each job is what actually bounds parallelism.
+func fanOut(n int, f func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// AnalyzeBatch runs the jobs across the worker pool and returns
+// responses in input order. Per-job failures are reported inline via
+// AnalyzeResponse.Error; the call itself fails only for client mistakes
+// at the batch level.
+func (e *Engine) AnalyzeBatch(ctx context.Context, reqs []api.AnalyzeRequest) ([]api.AnalyzeResponse, error) {
+	if err := e.checkBatchSize(len(reqs)); err != nil {
+		return nil, err
+	}
+	out := make([]api.AnalyzeResponse, len(reqs))
+	fanOut(len(reqs), func(i int) {
+		resp, err := e.Analyze(ctx, reqs[i])
+		if err != nil {
+			out[i] = api.AnalyzeResponse{Kind: reqs[i].Kind, Error: toAPIError(err)}
+			return
+		}
+		out[i] = *resp
+	})
+	return out, nil
+}
+
+// apiDecision converts a library verdict to its wire form.
+func apiDecision(v *chaseterm.Verdict) *api.Decision {
+	return &api.Decision{
+		Terminates:  v.Terminates.String(),
+		Class:       v.Class.String(),
+		Method:      v.Method,
+		Witness:     v.Witness,
+		SearchSpace: v.SearchSpace,
+	}
+}
+
+// apiChaseRun converts a chase result to its wire form.
+func apiChaseRun(res *chaseterm.ChaseResult, includeFacts bool) *api.ChaseRun {
+	out := &api.ChaseRun{
+		Outcome: res.Outcome.String(),
+		Stats: api.ChaseStats{
 			InitialFacts:      res.Stats.InitialFacts,
 			FactsAdded:        res.Stats.FactsAdded,
 			TriggersApplied:   res.Stats.TriggersApplied,
@@ -329,42 +424,47 @@ func (e *Engine) doChase(ctx context.Context, req Request, rules *chaseterm.Rule
 			MaxTermDepth:      res.Stats.MaxTermDepth,
 		},
 	}
-	if req.ReturnFacts {
-		resp.Facts = res.Facts()
+	if includeFacts {
+		out.Facts = res.Facts()
 	}
-	return resp, nil
+	return out
 }
 
-// Batch runs the jobs across the worker pool and returns responses in
-// input order. Per-job failures are reported inline via Response.Error;
-// the call itself fails only for client mistakes at the batch level.
-func (e *Engine) Batch(ctx context.Context, reqs []Request) ([]*Response, error) {
-	if len(reqs) == 0 {
-		return nil, fmt.Errorf("%w: empty batch", ErrBadRequest)
+// apiAcyclicity converts an acyclicity report to its wire form.
+func apiAcyclicity(rep *chaseterm.AcyclicityReport) *api.Acyclicity {
+	return &api.Acyclicity{
+		RichlyAcyclic:  rep.RichlyAcyclic,
+		WeaklyAcyclic:  rep.WeaklyAcyclic,
+		JointlyAcyclic: rep.JointlyAcyclic,
+		RAWitness:      rep.RAWitness,
+		WAWitness:      rep.WAWitness,
 	}
-	if len(reqs) > e.opts.MaxBatch {
-		return nil, fmt.Errorf("%w: batch of %d exceeds the limit of %d", ErrBadRequest, len(reqs), e.opts.MaxBatch)
+}
+
+// toAPIError classifies an engine error into its wire form: a stable
+// machine-readable code plus the error text.
+func toAPIError(err error) *api.Error {
+	code := api.CodeInternal
+	switch {
+	case errors.Is(err, ErrKindMismatch):
+		code = api.CodeKindMismatch
+	case errors.Is(err, ErrBadRequest):
+		code = api.CodeBadRequest
+	case errors.Is(err, ErrUnprocessable):
+		code = api.CodeUnprocessable
+	case errors.Is(err, context.DeadlineExceeded):
+		code = api.CodeTimeout
+	case errors.Is(err, context.Canceled):
+		code = api.CodeCanceled
+	case errors.Is(err, ErrClosed):
+		code = api.CodeUnavailable
 	}
-	out := make([]*Response, len(reqs))
-	var wg sync.WaitGroup
-	for i, req := range reqs {
-		wg.Add(1)
-		go func(i int, req Request) {
-			defer wg.Done()
-			resp, err := e.Do(ctx, req)
-			if err != nil {
-				resp = &Response{Kind: req.Kind, Error: err.Error()}
-			}
-			out[i] = resp
-		}(i, req)
-	}
-	wg.Wait()
-	return out, nil
+	return &api.Error{Code: code, Message: err.Error()}
 }
 
 // checkBudgets rejects out-of-range search budgets up front (zero means
 // the library default and is always fine).
-func checkBudgets(req Request) error {
+func checkBudgets(req api.AnalyzeRequest) error {
 	budgets := []struct {
 		name string
 		val  int
