@@ -447,3 +447,54 @@ func BenchmarkParse(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkInstanceContains: the dedup probe of the insertion hot path —
+// an integer-keyed open-addressed hit/miss pair. Must report 0 allocs/op.
+func BenchmarkInstanceContains(b *testing.B) {
+	in := instance.New()
+	e := in.Pred("e", 2)
+	terms := make([]instance.TermID, 1024)
+	for i := range terms {
+		terms[i] = in.Terms.Const(fmt.Sprintf("c%d", i))
+	}
+	for i := 0; i+1 < len(terms); i++ {
+		in.Add(e, []instance.TermID{terms[i], terms[i+1]})
+	}
+	hit := []instance.TermID{terms[500], terms[501]}
+	miss := []instance.TermID{terms[501], terms[500]}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !in.Contains(e, hit) || in.Contains(e, miss) {
+			b.Fatal("membership flipped")
+		}
+	}
+}
+
+// BenchmarkEngineSteadyState: a full chase pass over an already saturated
+// instance — every application is a no-op and every rediscovered trigger
+// a dedup hit. This is the regime the allocation-free hot path targets;
+// the per-trigger cost here is the engine's floor.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	rules := parse.MustParseRules("e(X,Y) -> r(X,Y).\nr(X,Y) -> s(Y,X).")
+	var facts []logic.Atom
+	for i := 0; i < 400; i++ {
+		facts = append(facts, logic.NewAtom("e",
+			logic.Constant(fmt.Sprintf("a%d", i)), logic.Constant(fmt.Sprintf("a%d", i+1))))
+	}
+	in, err := instance.FromAtoms(facts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if res, err := chase.Run(in, rules, chase.SemiOblivious, chase.Options{}); err != nil || res.Outcome != chase.Terminated {
+		b.Fatal("saturation failed")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := chase.Run(in, rules, chase.SemiOblivious, chase.Options{})
+		if err != nil || res.Outcome != chase.Terminated || res.Stats.FactsAdded != 0 {
+			b.Fatal("steady-state run derived facts")
+		}
+	}
+}

@@ -5,9 +5,15 @@
 //
 // Usage:
 //
-//	chasebench [-quick] [-run e1,e3,...]   (default: all)
+//	chasebench [-quick] [-run e1,e3,...]   (default: all experiments)
+//	chasebench -bench [-quick] [-label s] [-o BENCH_chase.json]
+//	chasebench -check BENCH_chase.json
 //
-// Output is GitHub-flavoured markdown on stdout.
+// The default mode prints GitHub-flavoured markdown experiment tables on
+// stdout. -bench instead runs the tracked hot-path benchmark suite and
+// emits the chasebench/v1 JSON report (see BENCH_chase.json at the repo
+// root for the committed perf trajectory); -check validates such a report
+// structurally and exits non-zero on schema violations.
 package main
 
 import (
@@ -55,7 +61,36 @@ var experiments = []experiment{
 func main() {
 	quick := flag.Bool("quick", false, "smaller workloads (CI-friendly)")
 	runList := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	bench := flag.Bool("bench", false, "run the tracked benchmark suite and emit chasebench/v1 JSON")
+	benchOut := flag.String("o", "", "with -bench: write the JSON report to this file (default stdout)")
+	benchLabel := flag.String("label", "current", "with -bench: label recorded for the run")
+	check := flag.String("check", "", "validate a chasebench/v1 JSON report and exit")
 	flag.Parse()
+	if *check != "" {
+		if err := checkBenchReport(*check); err != nil {
+			fmt.Fprintf(os.Stderr, "chasebench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid chasebench/v1 report\n", *check)
+		return
+	}
+	if *bench {
+		out := io.Writer(os.Stdout)
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chasebench: %v\n", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := runBenchSuite(out, *quick, *benchLabel); err != nil {
+			fmt.Fprintf(os.Stderr, "chasebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	want := map[string]bool{}
 	if *runList != "" {
 		for _, id := range strings.Split(*runList, ",") {

@@ -2,6 +2,8 @@ package main
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -44,3 +46,47 @@ func TestExperimentIDsUnique(t *testing.T) {
 }
 
 var _ io.Writer = (*strings.Builder)(nil)
+
+// TestCheckBenchReport exercises the chasebench/v1 schema validator on a
+// minimal valid report and a set of targeted violations.
+func TestCheckBenchReport(t *testing.T) {
+	valid := `{
+  "schemaVersion": 1,
+  "suite": "chasebench/v1",
+  "runs": [{
+    "label": "t", "goVersion": "go1.24",
+    "benchmarks": [{"name": "x", "iterations": 3, "nsPerOp": 10.5,
+                    "bytesPerOp": 0, "allocsPerOp": 0, "opsPerSec": 9.5e7}]
+  }]
+}`
+	cases := []struct {
+		name string
+		body string
+		ok   bool
+	}{
+		{"valid", valid, true},
+		{"not-json", "{", false},
+		{"wrong-version", strings.Replace(valid, `"schemaVersion": 1`, `"schemaVersion": 2`, 1), false},
+		{"wrong-suite", strings.Replace(valid, "chasebench/v1", "other/v1", 1), false},
+		{"no-runs", `{"schemaVersion":1,"suite":"chasebench/v1","runs":[]}`, false},
+		{"no-label", strings.Replace(valid, `"label": "t"`, `"label": ""`, 1), false},
+		{"no-benchmarks", `{"schemaVersion":1,"suite":"chasebench/v1","runs":[{"label":"t","goVersion":"go1.24","benchmarks":[]}]}`, false},
+		{"zero-ns", strings.Replace(valid, `"nsPerOp": 10.5`, `"nsPerOp": 0`, 1), false},
+		{"unnamed", strings.Replace(valid, `"name": "x"`, `"name": ""`, 1), false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(t.TempDir(), "r.json")
+			if err := os.WriteFile(p, []byte(tc.body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			err := checkBenchReport(p)
+			if tc.ok && err != nil {
+				t.Errorf("valid report rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Error("invalid report accepted")
+			}
+		})
+	}
+}

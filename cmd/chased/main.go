@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	chased [-addr :8080] [-workers N] [-cache-size N] [-timeout 30s]
+//	chased [-addr :8080] [-workers N] [-cache-size N] [-timeout 30s] [-pprof addr]
 //
 // Endpoints — the versioned contract (package api; kind in the body):
 //
@@ -36,6 +36,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +50,7 @@ type config struct {
 	workers   int
 	cacheSize int
 	timeout   time.Duration
+	pprofAddr string
 }
 
 func main() {
@@ -57,6 +59,8 @@ func main() {
 	flag.IntVar(&cfg.workers, "workers", 0, "concurrent analyses (0 = GOMAXPROCS)")
 	flag.IntVar(&cfg.cacheSize, "cache-size", 0, "verdict cache entries (0 = 1024)")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-job timeout")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "",
+		"serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chased [flags]\n")
 		flag.PrintDefaults()
@@ -87,6 +91,32 @@ func run(ctx context.Context, cfg config, ready func(net.Addr)) error {
 		JobTimeout: cfg.timeout,
 	})
 	defer eng.Close()
+
+	// Profiling is opt-in and on its own listener, so the analysis port
+	// never exposes pprof: bind -pprof to localhost in production.
+	if cfg.pprofAddr != "" {
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		log.Printf("chased: pprof on http://%s/debug/pprof/", pln.Addr())
+		psrv := &http.Server{Handler: pm, ReadHeaderTimeout: 10 * time.Second}
+		// Tie the profiler's lifetime to the run context so repeated run()
+		// calls (tests, embedders) don't leak the listener.
+		stopPprof := context.AfterFunc(ctx, func() { psrv.Close() })
+		defer stopPprof()
+		go func() {
+			if err := psrv.Serve(pln); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("chased: pprof server: %v", err)
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {

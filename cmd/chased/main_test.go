@@ -211,3 +211,74 @@ func TestRunRejectsBadAddress(t *testing.T) {
 		t.Fatal("bad listen address accepted")
 	}
 }
+
+// TestPprofAndRuntimeStats boots the server with the opt-in pprof
+// listener and checks both that the profiling endpoints answer and that
+// /v1/stats carries the Go runtime memory/GC counters.
+func TestPprofAndRuntimeStats(t *testing.T) {
+	// Reserve an ephemeral port for pprof (close-and-reuse; fine in tests).
+	pl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pprofAddr := pl.Addr().String()
+	pl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, config{
+			addr:      "127.0.0.1:0",
+			timeout:   30 * time.Second,
+			pprofAddr: pprofAddr,
+		}, func(a net.Addr) { addrs <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrs:
+		base = fmt.Sprintf("http://%s", a)
+	case err := <-done:
+		t.Fatalf("server exited before becoming ready: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/cmdline", pprofAddr))
+	if err != nil {
+		t.Fatalf("pprof endpoint: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap struct {
+		Runtime struct {
+			HeapAllocBytes uint64 `json:"heapAllocBytes"`
+			NumGoroutine   int    `json:"numGoroutine"`
+		} `json:"runtime"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Runtime.HeapAllocBytes == 0 || snap.Runtime.NumGoroutine <= 0 {
+		t.Errorf("stats missing runtime counters: %+v", snap.Runtime)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("shutdown: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not shut down")
+	}
+}

@@ -1,0 +1,136 @@
+package chase
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"chaseterm/internal/instance"
+	"chaseterm/internal/logic"
+	"chaseterm/internal/parse"
+)
+
+// Steady-state allocation pins: a trigger application whose facts all
+// exist, a duplicate trigger offer, and a restricted-chase satisfaction
+// check must not allocate. These are the three operations a saturating
+// chase spends almost all of its time in.
+
+func saturatedEngine(t *testing.T, src string, db []logic.Atom, v Variant) (*Engine, *instance.Instance) {
+	t.Helper()
+	rules := parse.MustParseRules(src)
+	in, err := instance.FromAtoms(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(in, rules, v, Options{})
+	if err != nil || res.Outcome != Terminated {
+		t.Fatalf("saturation failed: %v %v", res, err)
+	}
+	e, err := NewEngine(in, rules, v, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, in
+}
+
+func chainDB(n int) []logic.Atom {
+	var facts []logic.Atom
+	for i := 0; i < n; i++ {
+		facts = append(facts, logic.NewAtom("e",
+			logic.Constant(fmt.Sprintf("a%d", i)), logic.Constant(fmt.Sprintf("a%d", i+1))))
+	}
+	return facts
+}
+
+func TestOfferDuplicateAllocFree(t *testing.T) {
+	e, _ := saturatedEngine(t, "e(X,Y) -> r(X,Y).", chainDB(16), SemiOblivious)
+	binding := []instance.TermID{1, 2}
+	e.offer(0, binding) // first offer inserts
+	enq := e.stats.TriggersEnqueued
+	if n := testing.AllocsPerRun(200, func() {
+		e.offer(0, binding)
+	}); n != 0 {
+		t.Errorf("duplicate offer allocates %v per run, want 0", n)
+	}
+	if e.stats.TriggersEnqueued != enq {
+		t.Fatal("duplicate offers must not enqueue")
+	}
+}
+
+func TestApplyExistingFactsAllocFree(t *testing.T) {
+	// A rule with an existential: the steady-state apply re-interns the
+	// Skolem term and re-adds an existing fact.
+	e, in := saturatedEngine(t, "p(X) -> q(X,Z).", []logic.Atom{
+		logic.NewAtom("p", logic.Constant("a")),
+		logic.NewAtom("p", logic.Constant("b")),
+	}, SemiOblivious)
+	cr := &e.rules[0]
+	a, _ := in.Terms.LookupConst("a")
+	fr := []instance.TermID{a}
+	if added, _ := e.apply(cr, fr); added != 0 {
+		t.Fatal("instance must already be saturated")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		if added, _ := e.apply(cr, fr); added != 0 {
+			t.Fatal("steady-state apply added a fact")
+		}
+	}); n != 0 {
+		t.Errorf("steady-state apply allocates %v per run, want 0", n)
+	}
+}
+
+func TestHeadSatisfiedAllocFree(t *testing.T) {
+	e, in := saturatedEngine(t, "e(X,Y) -> r(X,Y).", chainDB(16), Restricted)
+	a, _ := in.Terms.LookupConst("a0")
+	b, _ := in.Terms.LookupConst("a1")
+	cr := &e.rules[0]
+	fr := []instance.TermID{a, b}
+	if !e.headSatisfied(cr, fr) {
+		t.Fatal("head must be satisfied on the saturated instance")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		e.headSatisfied(cr, fr)
+	}); n != 0 {
+		t.Errorf("headSatisfied allocates %v per run, want 0", n)
+	}
+}
+
+// TestSteadyStateRunAllocsPerTrigger runs a whole chase over an already
+// saturated instance — every application is a no-op, every rediscovered
+// trigger a dedup hit — and bounds the measured allocations per applied
+// trigger. The budget of 0.5 leaves room only for the amortized growth of
+// the queue and arenas during seeding; the per-trigger loop itself is
+// allocation-free.
+func TestSteadyStateRunAllocsPerTrigger(t *testing.T) {
+	rules := parse.MustParseRules("e(X,Y) -> r(X,Y).\nr(X,Y) -> s(Y,X).")
+	in, err := instance.FromAtoms(chainDB(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := Run(in, rules, SemiOblivious, Options{}); err != nil || res.Outcome != Terminated {
+		t.Fatalf("saturation failed: %v %v", res, err)
+	}
+	e, err := NewEngine(in, rules, SemiOblivious, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	res, err := e.Run()
+	runtime.ReadMemStats(&m1)
+	if err != nil || res.Outcome != Terminated {
+		t.Fatalf("steady-state run failed: %v %v", res, err)
+	}
+	if res.Stats.FactsAdded != 0 {
+		t.Fatalf("saturated instance grew by %d facts", res.Stats.FactsAdded)
+	}
+	if res.Stats.TriggersApplied == 0 {
+		t.Fatal("no triggers applied")
+	}
+	perTrigger := float64(m1.Mallocs-m0.Mallocs) / float64(res.Stats.TriggersApplied)
+	if perTrigger >= 0.5 {
+		t.Errorf("steady-state run: %.3f allocs per applied trigger (%d allocs / %d triggers), want < 0.5",
+			perTrigger, m1.Mallocs-m0.Mallocs, res.Stats.TriggersApplied)
+	}
+}

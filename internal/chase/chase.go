@@ -29,8 +29,8 @@ package chase
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"chaseterm/internal/instance"
@@ -246,9 +246,9 @@ type headAtom struct {
 type compiledRule struct {
 	src       *logic.TGD
 	body      *instance.Pattern
-	frontier  []int    // pattern-variable indexes of frontier variables, in frontier order
-	nExist    int      // number of existential variables
-	skolemFns []string // per existential variable
+	frontier  []int                 // pattern-variable indexes of frontier variables, in frontier order
+	nExist    int                   // number of existential variables
+	skolemFns []instance.SkolemFnID // per existential variable
 	head      []headAtom
 	// headPattern is the head compiled as a body-style pattern whose first
 	// len(frontier) variables are the frontier (in the same order),
@@ -256,30 +256,50 @@ type compiledRule struct {
 	headPattern *instance.Pattern
 }
 
+// trigger references a pending trigger's frontier tuple by offset into the
+// engine's frontier arena: the queue never holds per-trigger slices.
 type trigger struct {
-	rule     int
-	frontier []instance.TermID
-	key      string
+	rule int32
+	off  int32
+	n    int32
 }
 
 // Engine runs one chase over one instance. Create with NewEngine, then call
 // Run. The instance is mutated in place.
+//
+// The steady-state loop — popping a trigger whose facts all exist and
+// whose successor triggers are all duplicates — is allocation-free: the
+// trigger identity set, fact store and Skolem interner are integer-keyed
+// open-addressed tables probed against their backing arrays, trigger
+// frontiers live in an append-only arena, and the per-application
+// existential/argument buffers and homomorphism scratch are pooled on the
+// engine.
 type Engine struct {
 	in      *instance.Instance
-	rules   []*compiledRule
+	rules   []compiledRule
 	variant Variant
 	opt     Options
 
-	queue      []trigger // FIFO / LIFO store
-	qhead      int
-	buckets    [][]trigger // per-rule stores for OrderRulePriority
-	bheads     []int
-	pending    int
-	seen       map[string]struct{}
-	stats      Stats
-	seq        []AppliedTrigger
-	byPred     map[instance.PredID][][2]int // pred -> (rule, bodyAtom) pairs
-	scratch    []instance.TermID
+	queue   []trigger // FIFO / LIFO store
+	qhead   int
+	buckets [][]trigger // per-rule stores for OrderRulePriority
+	bheads  []int
+	pending int
+	seen    instance.TupleSet // trigger identity, tagged by rule
+	frArena []instance.TermID // frontier tuples of queued triggers
+	stats   Stats
+	seq     []AppliedTrigger
+	byPred  map[instance.PredID][][2]int // pred -> (rule, bodyAtom) pairs
+	scratch []instance.TermID
+	match   instance.MatchScratch
+	exBuf   []instance.TermID
+	argBuf  []instance.TermID
+	// offerFn is the one seeding/discovery callback: it offers the found
+	// binding for rule curRule. The matcher is never re-entered while an
+	// enumeration is live (offer only hashes and enqueues), so a single
+	// closure + current-rule field replaces a per-rule closure vector.
+	offerFn    func([]instance.TermID) bool
+	curRule    int
 	cyclicSeen bool
 }
 
@@ -320,14 +340,19 @@ func (e *Engine) pop() (trigger, bool) {
 	}
 }
 
+// frontierOf resolves a queued trigger's frontier tuple in the arena.
+func (e *Engine) frontierOf(t trigger) []instance.TermID {
+	return e.frArena[t.off : t.off+t.n]
+}
+
 // fnOccurs reports whether the Skolem function fn occurs in term t
 // (transitively through Skolem arguments).
-func (e *Engine) fnOccurs(fn string, t instance.TermID) bool {
+func (e *Engine) fnOccurs(fn instance.SkolemFnID, t instance.TermID) bool {
 	tt := e.in.Terms
 	if tt.Kind(t) != instance.KindSkolem {
 		return false
 	}
-	if tt.Name(t) == fn {
+	if tt.SkolemFnOf(t) == fn {
 		return true
 	}
 	for _, a := range tt.SkolemArgs(t) {
@@ -348,18 +373,21 @@ func NewEngine(in *instance.Instance, rs *logic.RuleSet, v Variant, opt Options)
 		in:      in,
 		variant: v,
 		opt:     opt.withDefaults(),
-		seen:    make(map[string]struct{}),
 		byPred:  make(map[instance.PredID][][2]int),
+		rules:   make([]compiledRule, len(rs.Rules)),
 	}
+	var ar ruleArena
 	for ri, r := range rs.Rules {
-		cr, err := compileRule(in, ri, r)
-		if err != nil {
+		if err := compileRule(in, ri, r, &e.rules[ri], &ar); err != nil {
 			return nil, err
 		}
-		e.rules = append(e.rules, cr)
-		for ai, pa := range cr.body.Atoms {
+		for ai, pa := range e.rules[ri].body.Atoms {
 			e.byPred[pa.Pred] = append(e.byPred[pa.Pred], [2]int{ri, ai})
 		}
+	}
+	e.offerFn = func(b []instance.TermID) bool {
+		e.offer(e.curRule, b)
+		return true
 	}
 	if e.opt.Order == OrderRulePriority {
 		e.buckets = make([][]trigger, len(e.rules))
@@ -368,120 +396,116 @@ func NewEngine(in *instance.Instance, rs *logic.RuleSet, v Variant, opt Options)
 	return e, nil
 }
 
-func compileRule(in *instance.Instance, ri int, r *logic.TGD) (*compiledRule, error) {
-	body, err := instance.CompileBody(in, r.Body)
+// varPos returns the index of v in vars, or -1 — the rule vocabularies
+// are tiny, so a linear scan beats a map both in time and allocation.
+func varPos(vars []logic.Variable, v logic.Variable) int {
+	for i, w := range vars {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// ruleArena batches the small per-rule compile slices of a whole rule set
+// into a handful of growing backings. Earlier subslices stay readable
+// across growth (the retired backing arrays are never mutated), so the
+// arena needs no pre-counting pass.
+type ruleArena struct {
+	frontier []int
+	fns      []instance.SkolemFnID
+	heads    []headAtom
+	slots    []headSlot
+	ps       instance.PatternSet
+}
+
+func compileRule(in *instance.Instance, ri int, r *logic.TGD, cr *compiledRule, ar *ruleArena) error {
+	body, err := ar.ps.Compile(in, r.Body, nil)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	cr := &compiledRule{src: r, body: body}
+	cr.src = r
+	cr.body = body
 	fr := r.Frontier()
+	frStart := len(ar.frontier)
 	for _, v := range fr {
-		cr.frontier = append(cr.frontier, body.VarIndex(v))
+		ar.frontier = append(ar.frontier, body.VarIndex(v))
 	}
+	cr.frontier = ar.frontier[frStart:len(ar.frontier):len(ar.frontier)]
 	ex := r.Existentials()
 	cr.nExist = len(ex)
-	exIdx := make(map[logic.Variable]int, len(ex))
-	for i, z := range ex {
-		exIdx[z] = i
-		cr.skolemFns = append(cr.skolemFns, fmt.Sprintf("f%d_%s", ri, z))
+	fnStart := len(ar.fns)
+	var nameBuf [32]byte
+	for _, z := range ex {
+		// "f<rule>_<var>" built without fmt.Sprintf: at most one string
+		// allocation per symbol (inside SkolemFn, on a table miss).
+		name := append(nameBuf[:0], 'f')
+		name = strconv.AppendInt(name, int64(ri), 10)
+		name = append(name, '_')
+		name = append(name, z...)
+		ar.fns = append(ar.fns, in.Terms.SkolemFnBytes(name))
 	}
-	frIdx := make(map[logic.Variable]int, len(fr))
-	for i, v := range fr {
-		frIdx[v] = i
-	}
+	cr.skolemFns = ar.fns[fnStart:len(ar.fns):len(ar.fns)]
+	haStart := len(ar.heads)
 	for _, a := range r.Head {
-		ha := headAtom{pred: in.Pred(a.Pred, len(a.Args))}
+		slStart := len(ar.slots)
 		for _, t := range a.Args {
 			switch t := t.(type) {
 			case logic.Variable:
-				if i, ok := frIdx[t]; ok {
-					ha.slots = append(ha.slots, headSlot{kind: slotFrontier, idx: i})
+				if i := varPos(fr, t); i >= 0 {
+					ar.slots = append(ar.slots, headSlot{kind: slotFrontier, idx: i})
 				} else {
-					ha.slots = append(ha.slots, headSlot{kind: slotExistential, idx: exIdx[t]})
+					ar.slots = append(ar.slots, headSlot{kind: slotExistential, idx: varPos(ex, t)})
 				}
 			case logic.Constant:
-				ha.slots = append(ha.slots, headSlot{kind: slotConst, term: in.Terms.Const(string(t))})
+				ar.slots = append(ar.slots, headSlot{kind: slotConst, term: in.Terms.Const(string(t))})
 			}
 		}
-		cr.head = append(cr.head, ha)
+		ar.heads = append(ar.heads, headAtom{
+			pred:  in.Pred(a.Pred, len(a.Args)),
+			slots: ar.slots[slStart:len(ar.slots):len(ar.slots)],
+		})
 	}
-	hp, err := compileHeadPattern(in, fr, r.Head)
+	cr.head = ar.heads[haStart:len(ar.heads):len(ar.heads)]
+	// The head compiled as a body-style pattern whose first variables are
+	// the frontier, in order — the restricted-chase satisfaction check
+	// binds them from the trigger.
+	hp, err := ar.ps.Compile(in, r.Head, fr)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	cr.headPattern = hp
-	return cr, nil
+	return nil
 }
 
 // compileHeadPattern compiles head atoms into a pattern whose variables
 // 0..len(frontier)-1 are the frontier variables in order; existential
 // variables follow.
 func compileHeadPattern(in *instance.Instance, frontier []logic.Variable, head []logic.Atom) (*instance.Pattern, error) {
-	p := &instance.Pattern{}
-	varIdx := make(map[logic.Variable]int)
-	for _, v := range frontier {
-		varIdx[v] = p.NumVars
-		p.NumVars++
-		p.VarNames = append(p.VarNames, v)
-	}
-	for _, a := range head {
-		pa := instance.PatternAtom{Pred: in.Pred(a.Pred, len(a.Args))}
-		for _, t := range a.Args {
-			switch t := t.(type) {
-			case logic.Variable:
-				i, ok := varIdx[t]
-				if !ok {
-					i = p.NumVars
-					varIdx[t] = i
-					p.NumVars++
-					p.VarNames = append(p.VarNames, t)
-				}
-				pa.Args = append(pa.Args, instance.Slot{IsVar: true, Var: i})
-			case logic.Constant:
-				pa.Args = append(pa.Args, instance.Slot{Term: in.Terms.Const(string(t))})
-			default:
-				return nil, fmt.Errorf("chase: unsupported head term %v", t)
-			}
-		}
-		p.Atoms = append(p.Atoms, pa)
-	}
-	return p, nil
-}
-
-func triggerKey(rule int, terms []instance.TermID) string {
-	var b strings.Builder
-	b.Grow(4 + 4*len(terms))
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], uint32(rule))
-	b.Write(buf[:])
-	for _, t := range terms {
-		binary.LittleEndian.PutUint32(buf[:], uint32(t))
-		b.Write(buf[:])
-	}
-	return b.String()
+	return (*instance.PatternSet)(nil).Compile(in, head, frontier)
 }
 
 // offer registers a discovered homomorphism as a trigger, deduplicating by
-// the variant's trigger identity.
+// the variant's trigger identity. A duplicate offer — the steady state of
+// a saturating run — performs zero allocations: the identity key is hashed
+// from the binding in place and compared against the tuple-set arena.
 func (e *Engine) offer(rule int, binding []instance.TermID) {
-	cr := e.rules[rule]
-	var key string
+	cr := &e.rules[rule]
+	var key []instance.TermID
 	switch e.variant {
 	case SemiOblivious:
-		fr := e.scratchFrontier(cr, binding)
-		key = triggerKey(rule, fr)
+		key = e.scratchFrontier(cr, binding)
 	default: // Oblivious and Restricted identify triggers by the full h.
-		key = triggerKey(rule, binding)
+		key = binding
 	}
-	if _, dup := e.seen[key]; dup {
+	if _, added := e.seen.Insert(int32(rule), key); !added {
 		return
 	}
-	e.seen[key] = struct{}{}
-	fr := make([]instance.TermID, len(cr.frontier))
-	for i, vi := range cr.frontier {
-		fr[i] = binding[vi]
+	off := int32(len(e.frArena))
+	for _, vi := range cr.frontier {
+		e.frArena = append(e.frArena, binding[vi])
 	}
-	e.push(trigger{rule: rule, frontier: fr, key: key})
+	e.push(trigger{rule: int32(rule), off: off, n: int32(len(cr.frontier))})
 	e.stats.TriggersEnqueued++
 }
 
@@ -531,14 +555,12 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	// Seed: all homomorphisms on the initial instance. Seeding a rule is
 	// itself a join over the whole instance, so the context is checked
 	// between rules.
-	for ri, cr := range e.rules {
+	for ri := range e.rules {
 		if canceled(done) {
 			return e.result(Canceled), ctx.Err()
 		}
-		e.in.FindHoms(cr.body, nil, func(b []instance.TermID) bool {
-			e.offer(ri, b)
-			return true
-		})
+		e.curRule = ri
+		e.in.FindHomsWith(&e.match, e.rules[ri].body, nil, e.offerFn)
 	}
 	outcome := Terminated
 	steps := 0 // counts loop iterations, not applications: the restricted
@@ -561,18 +583,19 @@ loop:
 		if !ok {
 			break loop
 		}
-		cr := e.rules[t.rule]
-		if e.variant == Restricted && e.headSatisfied(cr, t.frontier) {
+		cr := &e.rules[t.rule]
+		fr := e.frontierOf(t)
+		if e.variant == Restricted && e.headSatisfied(cr, fr) {
 			e.stats.TriggersSatisfied++
 			continue
 		}
-		added, maxDepth := e.apply(t.rule, cr, t.frontier)
+		added, maxDepth := e.apply(cr, fr)
 		e.stats.TriggersApplied++
 		if added == 0 {
 			e.stats.TriggersNoop++
 		}
 		if e.opt.RecordSequence {
-			e.seq = append(e.seq, AppliedTrigger{Rule: t.rule, FactsAdded: added})
+			e.seq = append(e.seq, AppliedTrigger{Rule: int(t.rule), FactsAdded: added})
 		}
 		if maxDepth > e.stats.MaxTermDepth {
 			e.stats.MaxTermDepth = maxDepth
@@ -603,15 +626,18 @@ func (e *Engine) result(outcome Outcome) *Result {
 }
 
 // headSatisfied reports whether the head of cr, with its frontier bound to
-// fr, already has a homomorphism into the instance.
+// fr, already has a homomorphism into the instance. Allocation-free: it
+// reuses the engine's match scratch.
 func (e *Engine) headSatisfied(cr *compiledRule, fr []instance.TermID) bool {
-	return e.in.HasHom(cr.headPattern, fr)
+	return e.in.HasHomWith(&e.match, cr.headPattern, fr)
 }
 
 // apply fires a trigger: it invents nulls (oblivious/restricted) or Skolem
 // terms (semi-oblivious) for the existential variables, adds the head
-// facts, and discovers the new triggers they enable.
-func (e *Engine) apply(rule int, cr *compiledRule, fr []instance.TermID) (added int, maxDepth int32) {
+// facts, and discovers the new triggers they enable. The existential and
+// argument buffers are pooled on the engine, so an application whose facts
+// all exist already (a steady-state no-op) allocates nothing.
+func (e *Engine) apply(cr *compiledRule, fr []instance.TermID) (added int, maxDepth int32) {
 	// Birth depth for fresh nulls: one more than the deepest frontier term.
 	var birth int32
 	for _, t := range fr {
@@ -619,7 +645,10 @@ func (e *Engine) apply(rule int, cr *compiledRule, fr []instance.TermID) (added 
 			birth = d
 		}
 	}
-	ex := make([]instance.TermID, cr.nExist)
+	if cap(e.exBuf) < cr.nExist {
+		e.exBuf = make([]instance.TermID, cr.nExist)
+	}
+	ex := e.exBuf[:cr.nExist]
 	for i := range ex {
 		if e.variant == SemiOblivious {
 			ex[i] = e.in.Terms.Skolem(cr.skolemFns[i], fr)
@@ -638,7 +667,7 @@ func (e *Engine) apply(rule int, cr *compiledRule, fr []instance.TermID) (added 
 			maxDepth = d
 		}
 	}
-	args := make([]instance.TermID, 0, 8)
+	args := e.argBuf
 	for _, ha := range cr.head {
 		args = args[:0]
 		for _, s := range ha.slots {
@@ -658,6 +687,7 @@ func (e *Engine) apply(rule int, cr *compiledRule, fr []instance.TermID) (added 
 			e.discover(fid)
 		}
 	}
+	e.argBuf = args[:0]
 	return added, maxDepth
 }
 
@@ -669,11 +699,8 @@ func (e *Engine) discover(fid instance.FactID) {
 	pred := e.in.Fact(fid).Pred
 	for _, ra := range e.byPred[pred] {
 		ri, ai := ra[0], ra[1]
-		cr := e.rules[ri]
-		e.in.FindHomsAnchored(cr.body, ai, fid, func(b []instance.TermID) bool {
-			e.offer(ri, b)
-			return true
-		})
+		e.curRule = ri
+		e.in.FindHomsAnchoredWith(&e.match, e.rules[ri].body, ai, fid, e.offerFn)
 	}
 }
 
@@ -713,9 +740,10 @@ func RunFromAtomsContext(ctx context.Context, db []logic.Atom, rs *logic.RuleSet
 // that terminating chase results are models of the input (property 1 of the
 // chase in the paper's introduction).
 func IsModel(in *instance.Instance, rs *logic.RuleSet) (string, error) {
+	var ar ruleArena
 	for ri, r := range rs.Rules {
-		cr, err := compileRule(in, ri, r)
-		if err != nil {
+		cr := new(compiledRule)
+		if err := compileRule(in, ri, r, cr, &ar); err != nil {
 			return "", err
 		}
 		violation := ""

@@ -147,6 +147,8 @@ type choice struct {
 // successors).
 func activeTriggers(in *instance.Instance, rs *logic.RuleSet) ([]choice, error) {
 	var out []choice
+	var seen instance.TupleSet // frontier identity, tagged by rule
+	fr := make([]instance.TermID, 0, 8)
 	for ri, r := range rs.Rules {
 		body, err := instance.CompileBody(in, r.Body)
 		if err != nil {
@@ -157,20 +159,18 @@ func activeTriggers(in *instance.Instance, rs *logic.RuleSet) ([]choice, error) 
 		if err != nil {
 			return nil, err
 		}
-		seen := make(map[string]bool)
-		var inner error
+		frIdx := make([]int, len(frontier))
+		for i, v := range frontier {
+			frIdx[i] = body.VarIndex(v)
+		}
 		in.FindHoms(body, nil, func(binding []instance.TermID) bool {
-			fr := make([]instance.TermID, len(frontier))
-			var key strings.Builder
-			for i, v := range frontier {
-				fr[i] = binding[body.VarIndex(v)]
-				fmt.Fprintf(&key, "%d,", fr[i])
+			fr = fr[:0]
+			for _, vi := range frIdx {
+				fr = append(fr, binding[vi])
 			}
-			k := key.String()
-			if seen[k] {
+			if _, added := seen.Insert(int32(ri), fr); !added {
 				return true
 			}
-			seen[k] = true
 			if in.HasHom(headPat, fr) {
 				return true // satisfied: not active
 			}
@@ -181,9 +181,6 @@ func activeTriggers(in *instance.Instance, rs *logic.RuleSet) ([]choice, error) 
 			out = append(out, ch)
 			return true
 		})
-		if inner != nil {
-			return nil, inner
-		}
 	}
 	return out, nil
 }

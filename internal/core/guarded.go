@@ -125,7 +125,9 @@ type gRule struct {
 	head     []gHeadAtom
 }
 
-// gAtomKey encodes an atom over a node universe as a compact string.
+// gAtomKey encodes an atom over a node universe as a compact string —
+// used only on cold canonicalization paths; the hot dedup sets below are
+// integer-keyed.
 func gAtomKey(pred int, args []int) string {
 	b := make([]byte, 0, 2+len(args))
 	b = append(b, byte(pred>>8), byte(pred))
@@ -144,22 +146,144 @@ func gRecKey(rule int, tuple []int) string {
 	return string(b)
 }
 
+// intSet is an insert-only open-addressed hash set of (tag, tuple) keys
+// over node-universe ids — the guarded decider's counterpart of the
+// instance package's TupleSet. Member tuples live in a flat arena and
+// probes compare against it directly, so membership tests (the inner-loop
+// steady state of the saturation) allocate nothing.
+type intSet struct {
+	slots []int32 // id+1; 0 = empty
+	tags  []int32
+	offs  []int32 // len(tags)+1 bounds
+	arena []int32
+}
+
+// The three hash helpers keep the mixing constants in one place; insert,
+// contains and grow all compose them.
+
+func intSetSeed(tag int32, n int) uint64 {
+	return 0x9e3779b97f4a7c15 ^ (uint64(uint32(tag)) | uint64(n)<<32)
+}
+
+func intSetMix(h uint64, v uint32) uint64 {
+	h ^= uint64(v)
+	h *= 0x9e3779b185ebca87
+	return h
+}
+
+func intSetFinish(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}
+
+func intSetHash(tag int32, tuple []int) uint64 {
+	h := intSetSeed(tag, len(tuple))
+	for _, t := range tuple {
+		h = intSetMix(h, uint32(int32(t)))
+	}
+	return intSetFinish(h)
+}
+
+// intSetHashMem hashes a member tuple already stored in the arena.
+func intSetHashMem(tag int32, mem []int32) uint64 {
+	h := intSetSeed(tag, len(mem))
+	for _, t := range mem {
+		h = intSetMix(h, uint32(t))
+	}
+	return intSetFinish(h)
+}
+
+func (s *intSet) match(id int32, tag int32, tuple []int) bool {
+	if s.tags[id] != tag {
+		return false
+	}
+	mem := s.arena[s.offs[id]:s.offs[id+1]]
+	if len(mem) != len(tuple) {
+		return false
+	}
+	for i, t := range tuple {
+		if mem[i] != int32(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// insert adds (tag, tuple), reporting whether it was newly added.
+func (s *intSet) insert(tag int, tuple []int) bool {
+	if len(s.slots) == 0 {
+		s.grow(32)
+		s.offs = append(s.offs, 0)
+	} else if len(s.tags)*4 >= len(s.slots)*3 {
+		s.grow(len(s.slots) * 2)
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := intSetHash(int32(tag), tuple) & mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			s.tags = append(s.tags, int32(tag))
+			for _, t := range tuple {
+				s.arena = append(s.arena, int32(t))
+			}
+			s.offs = append(s.offs, int32(len(s.arena)))
+			s.slots[i] = int32(len(s.tags))
+			return true
+		}
+		if s.match(v-1, int32(tag), tuple) {
+			return false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// contains reports membership of (tag, tuple) without inserting.
+func (s *intSet) contains(tag int, tuple []int) bool {
+	if len(s.slots) == 0 {
+		return false
+	}
+	mask := uint64(len(s.slots) - 1)
+	i := intSetHash(int32(tag), tuple) & mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			return false
+		}
+		if s.match(v-1, int32(tag), tuple) {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *intSet) grow(size int) {
+	s.slots = make([]int32, size)
+	mask := uint64(size - 1)
+	for id := range s.tags {
+		i := intSetHashMem(s.tags[id], s.arena[s.offs[id]:s.offs[id+1]]) & mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = int32(id) + 1
+	}
+}
+
 // gCloud is a node's atom set with a per-predicate view for matching.
 type gCloud struct {
-	set    map[string]struct{}
+	set    intSet
 	byPred [][][]int // pred -> list of arg tuples
 }
 
 func newGCloud(npred int) *gCloud {
-	return &gCloud{set: make(map[string]struct{}), byPred: make([][][]int, npred)}
+	return &gCloud{byPred: make([][][]int, npred)}
 }
 
 func (c *gCloud) add(pred int, args []int) bool {
-	k := gAtomKey(pred, args)
-	if _, ok := c.set[k]; ok {
+	if !c.set.insert(pred, args) {
 		return false
 	}
-	c.set[k] = struct{}{}
 	own := make([]int, len(args))
 	copy(own, args)
 	c.byPred[pred] = append(c.byPred[pred], own)
@@ -187,11 +311,11 @@ type gRec struct {
 
 // satVal is the memoized saturation of a node type.
 type satVal struct {
-	cloudKeys map[string]struct{} // atom encodings at fixpoint
-	cloud     []gFact
-	recs      []gRec
-	recKeys   map[string]struct{}
-	children  []string // canonical keys of child types (latest computation)
+	cloudSet *intSet // atom set at fixpoint (shared with the cloud that built it)
+	cloud    []gFact
+	recs     []gRec
+	recSet   *intSet
+	children []string // canonical keys of child types (latest computation)
 }
 
 type guardedDecider struct {
@@ -547,15 +671,15 @@ func (d *guardedDecider) merge(key string, v *satVal) bool {
 		return true
 	}
 	changed := false
-	for k := range v.cloudKeys {
-		if _, ok := old.cloudKeys[k]; !ok {
+	for _, f := range v.cloud {
+		if !old.cloudSet.contains(f.pred, f.args) {
 			changed = true
 			break
 		}
 	}
 	if !changed {
-		for k := range v.recKeys {
-			if _, ok := old.recKeys[k]; !ok {
+		for _, r := range v.recs {
+			if !old.recSet.contains(r.rule, r.tuple) {
 				changed = true
 				break
 			}
@@ -591,12 +715,10 @@ func (d *guardedDecider) computeSat(seed *gSeed) (*satVal, error) {
 	for _, f := range seed.atoms {
 		cloud.add(f.pred, f.args)
 	}
-	fired := make(map[string]struct{})
+	fired := new(intSet)
 	var recs []gRec
 	for _, r := range seed.recs {
-		k := gRecKey(r.rule, r.tuple)
-		if _, ok := fired[k]; !ok {
-			fired[k] = struct{}{}
+		if fired.insert(r.rule, r.tuple) {
 			recs = append(recs, r)
 		}
 	}
@@ -627,11 +749,9 @@ func (d *guardedDecider) computeSat(seed *gSeed) (*satVal, error) {
 						for i, v := range gr.frontier {
 							tuple[i] = binding[v]
 						}
-						rk := gRecKey(gr.idx, tuple)
-						if _, done := fired[rk]; done {
+						if !fired.insert(gr.idx, tuple) {
 							return
 						}
-						fired[rk] = struct{}{}
 						recs = append(recs, gRec{rule: gr.idx, tuple: tuple})
 						changed = true
 						if gr.nExist > 0 {
@@ -723,9 +843,9 @@ func (d *guardedDecider) computeSat(seed *gSeed) (*satVal, error) {
 	}
 
 	v := &satVal{
-		cloudKeys: cloud.set,
-		recKeys:   fired,
-		children:  children,
+		cloudSet: &cloud.set,
+		recSet:   fired,
+		children: children,
 	}
 	for p := range cloud.byPred {
 		for _, args := range cloud.byPred[p] {
@@ -774,14 +894,11 @@ func (d *guardedDecider) spawnChild(gr *gRule, tuple []int, cloud *gCloud, recs 
 	childNulls += gr.nExist
 
 	seed := &gSeed{nulls: childNulls}
-	seedSet := make(map[string]struct{})
+	var seedSet intSet
 	addAtom := func(pred int, args []int) {
-		k := gAtomKey(pred, args)
-		if _, ok := seedSet[k]; ok {
-			return
+		if seedSet.insert(pred, args) {
+			seed.atoms = append(seed.atoms, gFact{pred: pred, args: args})
 		}
-		seedSet[k] = struct{}{}
-		seed.atoms = append(seed.atoms, gFact{pred: pred, args: args})
 	}
 	// New head atoms.
 	for _, ha := range gr.head {
@@ -826,7 +943,7 @@ func (d *guardedDecider) spawnChild(gr *gRule, tuple []int, cloud *gCloud, recs 
 	}
 	// Inherited fired records (including the creating trigger's own record,
 	// which the caller added to fired/recs before calling us).
-	recSet := make(map[string]struct{})
+	var recSet intSet
 	for _, r := range recs {
 		mapped := make([]int, len(r.tuple))
 		ok := true
@@ -841,12 +958,9 @@ func (d *guardedDecider) spawnChild(gr *gRule, tuple []int, cloud *gCloud, recs 
 		if !ok {
 			continue
 		}
-		k := gRecKey(r.rule, mapped)
-		if _, dup := recSet[k]; dup {
-			continue
+		if recSet.insert(r.rule, mapped) {
+			seed.recs = append(seed.recs, gRec{rule: r.rule, tuple: mapped})
 		}
-		recSet[k] = struct{}{}
-		seed.recs = append(seed.recs, gRec{rule: r.rule, tuple: mapped})
 	}
 	_ = inheritedNulls
 

@@ -85,9 +85,41 @@ func Facts(rs *logic.RuleSet) []logic.Atom {
 	return out
 }
 
-// Instance materializes the critical instance.
+// Instance materializes the critical instance. It builds the fact store
+// directly over interned term ids — the tuple enumeration never
+// round-trips through logic.Atom values the way Facts does, which matters
+// because every decider and bounded oracle starts here.
 func Instance(rs *logic.RuleSet) (*instance.Instance, error) {
-	return instance.FromAtoms(Facts(rs))
+	in := instance.New()
+	consts := Constants(rs)
+	ids := make([]instance.TermID, len(consts))
+	for i, c := range consts {
+		ids[i] = in.Terms.Const(string(c))
+	}
+	for _, p := range rs.Schema() {
+		pid := in.Pred(p.Name, p.Arity)
+		tuple := make([]int, p.Arity)
+		args := make([]instance.TermID, p.Arity)
+		for {
+			for i, c := range tuple {
+				args[i] = ids[c]
+			}
+			in.Add(pid, args)
+			// next tuple in mixed radix
+			i := p.Arity - 1
+			for ; i >= 0; i-- {
+				tuple[i]++
+				if tuple[i] < len(consts) {
+					break
+				}
+				tuple[i] = 0
+			}
+			if i < 0 {
+				break
+			}
+		}
+	}
+	return in, nil
 }
 
 // AuxPrefix prefixes the generated head-atom predicates of AuxTransform.

@@ -1,0 +1,83 @@
+package instance
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"chaseterm/internal/logic"
+)
+
+// TestFrozenInstanceConcurrentReads exercises the single-writer contract
+// (see the package comment): after the writing goroutine is done, any
+// number of readers may probe, enumerate and render concurrently. The
+// test is most meaningful under -race, which CI runs on internal/...;
+// it would flag any hidden mutation on the read paths (e.g. a lazily
+// compiled plan or a memoized candidate list).
+func TestFrozenInstanceConcurrentReads(t *testing.T) {
+	in := New()
+	e := in.Pred("e", 2)
+	terms := make([]TermID, 128)
+	for i := range terms {
+		terms[i] = in.Terms.Const(fmt.Sprintf("c%d", i))
+	}
+	fn := in.Terms.SkolemFn("f")
+	for i := 0; i+1 < len(terms); i++ {
+		in.Add(e, []TermID{terms[i], terms[i+1]})
+		// A few Skolem facts so term rendering is exercised too.
+		if i%8 == 0 {
+			in.Add(e, []TermID{terms[i], in.Terms.Skolem(fn, terms[i:i+1])})
+		}
+	}
+	pat, err := CompileBody(in, []logic.Atom{
+		logic.NewAtom("e", logic.Variable("X"), logic.Variable("Y")),
+		logic.NewAtom("e", logic.Variable("Y"), logic.Variable("Z")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The instance is now frozen: no more writes. CompileBody compiled the
+	// pattern's plans eagerly, so enumeration below is read-only.
+	wantHoms := in.CountHoms(pat)
+	wantSize := in.Size()
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var sc MatchScratch // per-goroutine scratch
+			for iter := 0; iter < 50; iter++ {
+				if !in.Contains(e, []TermID{terms[g], terms[g+1]}) {
+					errs <- "Contains lost a fact"
+					return
+				}
+				if in.Contains(e, []TermID{terms[g+1], terms[g]}) {
+					errs <- "Contains invented a fact"
+					return
+				}
+				n := 0
+				in.FindHomsWith(&sc, pat, nil, func([]TermID) bool { n++; return true })
+				if n != wantHoms {
+					errs <- fmt.Sprintf("FindHoms found %d homs, want %d", n, wantHoms)
+					return
+				}
+				if got := len(in.ByPosTerm(e, 0, terms[g])); got == 0 {
+					errs <- "ByPosTerm empty"
+					return
+				}
+				if in.Size() != wantSize {
+					errs <- "Size changed"
+					return
+				}
+				_ = in.FactString(FactID(g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Error(msg)
+	}
+}

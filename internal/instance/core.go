@@ -62,7 +62,7 @@ func foldOnce(in *Instance, facts []Fact) ([]Fact, int) {
 	for skip := range facts {
 		if binding, ok := homInto(in, facts, skip); ok {
 			// Apply the homomorphism to every fact and deduplicate.
-			seen := make(map[string]bool, len(facts))
+			var seen TupleSet
 			var image []Fact
 			for _, f := range facts {
 				args := make([]TermID, len(f.Args))
@@ -73,9 +73,7 @@ func foldOnce(in *Instance, facts []Fact) ([]Fact, int) {
 						args[i] = t
 					}
 				}
-				k := factKey(f.Pred, args)
-				if !seen[k] {
-					seen[k] = true
+				if _, added := seen.Insert(int32(f.Pred), args); added {
 					image = append(image, Fact{Pred: f.Pred, Args: args})
 				}
 			}

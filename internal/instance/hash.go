@@ -1,0 +1,144 @@
+package instance
+
+import "math/bits"
+
+// Integer-keyed hashing for the chase hot path. The three steady-state
+// dedup structures — fact lookup, Skolem interning, trigger identity —
+// all key on a small integer tag plus a tuple of TermIDs. Hashing mixes
+// the raw words and finishes with a murmur3-style avalanche, so the low
+// bits are usable as an index into power-of-two open-addressed tables.
+// Nothing here materializes a key: probes compare against the backing
+// arrays that already store the data.
+
+const hashSeed uint64 = 0x9e3779b97f4a7c15
+
+func hashMix(h, v uint64) uint64 {
+	h ^= v
+	h *= 0x9e3779b185ebca87
+	return bits.RotateLeft64(h, 27)
+}
+
+func hashFinish(h uint64) uint64 {
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// hashTuple hashes a tagged TermID tuple.
+func hashTuple(tag int32, tuple []TermID) uint64 {
+	h := hashMix(hashSeed, uint64(uint32(tag))^uint64(len(tuple))<<32)
+	for _, t := range tuple {
+		h = hashMix(h, uint64(uint32(t)))
+	}
+	return hashFinish(h)
+}
+
+func termsEqual(a, b []TermID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, t := range a {
+		if t != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TupleSet is an insert-only open-addressed hash set of (tag, tuple) keys
+// over TermIDs, backed by a flat arena: member tuples are stored
+// contiguously, and set membership is decided by comparing the probe key
+// against the arena directly — no per-key string or slice materialization.
+// A hit performs zero allocations; a miss amortizes to the arena append.
+//
+// The zero value is ready to use. TupleSet is the trigger-identity store
+// of the chase engine and the frontier dedup of the sequence explorer;
+// like Instance it is single-writer (see the package comment).
+type TupleSet struct {
+	slots []int32  // id+1; 0 = empty
+	tags  []int32  // per id
+	offs  []int32  // len = len(tags)+1; tuple i is arena[offs[i]:offs[i+1]]
+	arena []TermID // concatenated member tuples
+}
+
+// Len returns the number of member tuples.
+func (s *TupleSet) Len() int { return len(s.tags) }
+
+// Tuple returns a view of member id's tuple. The slice aliases the arena
+// and must not be modified; it remains valid across later inserts.
+func (s *TupleSet) Tuple(id int32) []TermID { return s.arena[s.offs[id]:s.offs[id+1]] }
+
+// Tag returns member id's tag.
+func (s *TupleSet) Tag(id int32) int32 { return s.tags[id] }
+
+func (s *TupleSet) keyAt(id int32) (int32, []TermID) {
+	return s.tags[id], s.arena[s.offs[id]:s.offs[id+1]]
+}
+
+// Insert adds (tag, tuple) if absent. It returns the member id and whether
+// the key was newly added. The tuple is copied into the arena on a miss;
+// a hit allocates nothing.
+func (s *TupleSet) Insert(tag int32, tuple []TermID) (int32, bool) {
+	if len(s.slots) == 0 {
+		s.grow(16)
+		s.offs = append(s.offs, 0)
+	} else if len(s.tags)*4 >= len(s.slots)*3 {
+		s.grow(len(s.slots) * 2)
+	}
+	h := hashTuple(tag, tuple)
+	mask := uint64(len(s.slots) - 1)
+	i := h & mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			id := int32(len(s.tags))
+			s.tags = append(s.tags, tag)
+			s.arena = append(s.arena, tuple...)
+			s.offs = append(s.offs, int32(len(s.arena)))
+			s.slots[i] = id + 1
+			return id, true
+		}
+		t, tup := s.keyAt(v - 1)
+		if t == tag && termsEqual(tup, tuple) {
+			return v - 1, false
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Contains reports whether (tag, tuple) is a member.
+func (s *TupleSet) Contains(tag int32, tuple []TermID) bool {
+	if len(s.slots) == 0 {
+		return false
+	}
+	h := hashTuple(tag, tuple)
+	mask := uint64(len(s.slots) - 1)
+	i := h & mask
+	for {
+		v := s.slots[i]
+		if v == 0 {
+			return false
+		}
+		t, tup := s.keyAt(v - 1)
+		if t == tag && termsEqual(tup, tuple) {
+			return true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (s *TupleSet) grow(size int) {
+	s.slots = make([]int32, size)
+	mask := uint64(size - 1)
+	for id := range s.tags {
+		tag, tup := s.keyAt(int32(id))
+		i := hashTuple(tag, tup) & mask
+		for s.slots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		s.slots[i] = int32(id) + 1
+	}
+}

@@ -50,12 +50,12 @@ func TestTermTableNulls(t *testing.T) {
 func TestTermTableSkolem(t *testing.T) {
 	tt := NewTermTable()
 	a := tt.Const("a")
-	s1 := tt.Skolem("f", []TermID{a})
-	s2 := tt.Skolem("f", []TermID{a})
+	s1 := tt.Skolem(tt.SkolemFn("f"), []TermID{a})
+	s2 := tt.Skolem(tt.SkolemFn("f"), []TermID{a})
 	if s1 != s2 {
 		t.Fatal("equal Skolem terms interned differently")
 	}
-	s3 := tt.Skolem("f", []TermID{s1})
+	s3 := tt.Skolem(tt.SkolemFn("f"), []TermID{s1})
 	if s3 == s1 {
 		t.Fatal("nested Skolem term interned as its argument")
 	}
@@ -65,7 +65,7 @@ func TestTermTableSkolem(t *testing.T) {
 	if tt.String(s3) != "f(f(a))" {
 		t.Errorf("String: %s", tt.String(s3))
 	}
-	if g := tt.Skolem("g", []TermID{a}); g == s1 {
+	if g := tt.Skolem(tt.SkolemFn("g"), []TermID{a}); g == s1 {
 		t.Error("different functions interned equal")
 	}
 	args := tt.SkolemArgs(s3)
@@ -324,8 +324,8 @@ func TestMaxInventedDepth(t *testing.T) {
 	if in.MaxInventedDepth() != 0 {
 		t.Error("constant-only instance has depth > 0")
 	}
-	s := in.Terms.Skolem("f", []TermID{a})
-	s2 := in.Terms.Skolem("f", []TermID{s})
+	s := in.Terms.Skolem(in.Terms.SkolemFn("f"), []TermID{a})
+	s2 := in.Terms.Skolem(in.Terms.SkolemFn("f"), []TermID{s})
 	in.Add(p, []TermID{s2})
 	if in.MaxInventedDepth() != 2 {
 		t.Errorf("depth: %d", in.MaxInventedDepth())

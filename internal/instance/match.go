@@ -28,36 +28,92 @@ type Pattern struct {
 	// VarNames maps the dense variable index back to the source variable,
 	// for diagnostics.
 	VarNames []logic.Variable
+
+	// plans[0] is the static join order for an unanchored enumeration;
+	// plans[1+a] the order (excluding atom a) when atom a is the anchor.
+	// Compiled once by Compile; see FindHoms for the lazy fallback.
+	plans [][]int32
 }
 
 // CompileBody compiles a conjunction of logic atoms against the instance's
 // predicate and constant tables. The variable order (and hence the binding
-// layout) is the order of first occurrence.
+// layout) is the order of first occurrence. Join plans are compiled
+// eagerly, so the returned pattern is immediately safe for concurrent
+// enumeration over a frozen instance.
 func CompileBody(in *Instance, atoms []logic.Atom) (*Pattern, error) {
-	p := &Pattern{}
-	varIdx := make(map[logic.Variable]int)
+	return (*PatternSet)(nil).Compile(in, atoms, nil)
+}
+
+// PatternSet batches the storage of many compiled patterns — the pattern
+// structs, their atom and slot arrays, and their variable name tables —
+// into a handful of shared growing backings, so that compiling a whole
+// rule set costs a few allocations instead of a few per pattern. Earlier
+// patterns stay valid across backing growth: retired arrays are never
+// mutated. A nil *PatternSet is usable and compiles each pattern into
+// fresh storage.
+type PatternSet struct {
+	pats  []Pattern
+	atoms []PatternAtom
+	slots []Slot
+	names []logic.Variable
+}
+
+func (ps *PatternSet) pattern() *Pattern {
+	if ps == nil {
+		return &Pattern{}
+	}
+	ps.pats = append(ps.pats, Pattern{})
+	return &ps.pats[len(ps.pats)-1]
+}
+
+// Compile compiles a conjunction of atoms like CompileBody, drawing
+// storage from the set. seedVars, when non-nil, pre-binds the first
+// variable indexes in order (the chase uses this to put a rule's frontier
+// first in its head pattern).
+func (ps *PatternSet) Compile(in *Instance, atoms []logic.Atom, seedVars []logic.Variable) (*Pattern, error) {
+	if ps == nil {
+		ps = &PatternSet{}
+	}
+	p := ps.pattern()
+	atomStart, nameStart := len(ps.atoms), len(ps.names)
+	ps.names = append(ps.names, seedVars...)
+	p.NumVars = len(seedVars)
 	for _, a := range atoms {
-		pa := PatternAtom{Pred: in.Pred(a.Pred, len(a.Args))}
+		start := len(ps.slots)
 		for _, t := range a.Args {
 			switch t := t.(type) {
 			case logic.Variable:
-				i, ok := varIdx[t]
-				if !ok {
+				i := varIndexIn(ps.names[nameStart:], t)
+				if i < 0 {
 					i = p.NumVars
-					varIdx[t] = i
 					p.NumVars++
-					p.VarNames = append(p.VarNames, t)
+					ps.names = append(ps.names, t)
 				}
-				pa.Args = append(pa.Args, Slot{IsVar: true, Var: i})
+				ps.slots = append(ps.slots, Slot{IsVar: true, Var: i})
 			case logic.Constant:
-				pa.Args = append(pa.Args, Slot{Term: in.Terms.Const(string(t))})
+				ps.slots = append(ps.slots, Slot{Term: in.Terms.Const(string(t))})
 			default:
 				return nil, fmt.Errorf("instance: unsupported term %v in pattern", t)
 			}
 		}
-		p.Atoms = append(p.Atoms, pa)
+		ps.atoms = append(ps.atoms, PatternAtom{
+			Pred: in.Pred(a.Pred, len(a.Args)),
+			Args: ps.slots[start:len(ps.slots):len(ps.slots)],
+		})
 	}
+	p.Atoms = ps.atoms[atomStart:len(ps.atoms):len(ps.atoms)]
+	p.VarNames = ps.names[nameStart:len(ps.names):len(ps.names)]
+	p.Compile()
 	return p, nil
+}
+
+func varIndexIn(names []logic.Variable, v logic.Variable) int {
+	for i, w := range names {
+		if w == v {
+			return i
+		}
+	}
+	return -1
 }
 
 // VarIndex returns the dense index of the named variable, or -1.
@@ -70,45 +126,215 @@ func (p *Pattern) VarIndex(v logic.Variable) int {
 	return -1
 }
 
-// matchAtom attempts to unify the pattern atom with the fact under the
-// current binding. On success it returns the list of variables newly bound
-// (for backtracking) and true.
-func matchAtom(pa *PatternAtom, f Fact, binding []TermID) ([]int, bool) {
-	var bound []int
+// Compile precomputes the pattern's static join plans: one atom order for
+// the unanchored enumeration and one per anchor atom. The order is chosen
+// by selectivity class — greedily preferring atoms whose slots are ground
+// (constants) or join with already-ordered atoms, so that each level of
+// the enumeration can use the (pred, pos, term) index. Compile is
+// idempotent; CompileBody and the chase compiler call it eagerly.
+// Patterns built by hand are compiled lazily on first use, which is safe
+// only under the package's single-writer contract.
+// smallPlans are the shared immutable plans of 0- and 1-atom patterns —
+// the overwhelmingly common case (linear rules): no per-pattern plan
+// storage at all.
+var smallPlans = [][][]int32{
+	{{}},
+	{{0}, {}},
+}
+
+func (p *Pattern) Compile() {
+	if p.plans != nil {
+		return
+	}
+	n := len(p.Atoms)
+	if n < len(smallPlans) {
+		p.plans = smallPlans[n]
+		return
+	}
+	plans := make([][]int32, 1+n)
+	// One backing array for every plan order; one pair of scratch bitmaps.
+	backing := make([]int32, 0, n+n*max(n-1, 0))
+	bound := make([]bool, p.NumVars)
+	used := make([]bool, n)
+	for a := -1; a < n; a++ {
+		start := len(backing)
+		backing = p.planOrder(a, backing, bound, used)
+		plans[1+a] = backing[start:len(backing):len(backing)]
+	}
+	p.plans = plans
+}
+
+// planOrder appends a static atom order to backing, assuming the anchor
+// atom's variables (if any) are bound first. Greedy: repeatedly pick the
+// unordered atom with the most ground-or-bound slots, breaking ties
+// toward fewer free variables and lower index. bound and used are
+// caller-provided scratch bitmaps.
+func (p *Pattern) planOrder(anchor int, backing []int32, bound, used []bool) []int32 {
+	n := len(p.Atoms)
+	for i := range bound {
+		bound[i] = false
+	}
+	for i := range used {
+		used[i] = false
+	}
+	size := n
+	if anchor >= 0 {
+		used[anchor] = true
+		size = n - 1
+		for _, s := range p.Atoms[anchor].Args {
+			if s.IsVar {
+				bound[s.Var] = true
+			}
+		}
+	}
+	order := backing
+	for len(order) < len(backing)+size {
+		best, bestScore, bestFree := -1, -1, 0
+		for ai := range p.Atoms {
+			if used[ai] {
+				continue
+			}
+			score, free := 0, 0
+			for _, s := range p.Atoms[ai].Args {
+				if !s.IsVar || bound[s.Var] {
+					score++
+				} else {
+					free++
+				}
+			}
+			if score > bestScore || (score == bestScore && free < bestFree) {
+				best, bestScore, bestFree = ai, score, free
+			}
+		}
+		used[best] = true
+		order = append(order, int32(best))
+		for _, s := range p.Atoms[best].Args {
+			if s.IsVar {
+				bound[s.Var] = true
+			}
+		}
+	}
+	return order
+}
+
+// MatchScratch holds the reusable per-enumeration state of the matcher:
+// the variable binding and one candidate cursor + undo list per join
+// level. A zero MatchScratch is ready to use; it grows to the largest
+// pattern it has served and is reused across calls without allocating.
+// A scratch must not be shared between concurrently running enumerations,
+// nor between an enumeration and a nested one started from its callback —
+// use one scratch per nesting level.
+type MatchScratch struct {
+	binding []TermID
+	levels  []matchLevel
+	anchor  []int32
+}
+
+// candSrc is a level's candidate source: either a dense predicate extent
+// (list non-nil) or an index posting chain starting at head and linked
+// through Instance.next at argument position pos. n is the candidate
+// count, used for selectivity comparison.
+type candSrc struct {
+	list []FactID
+	head FactID
+	pos  int32
+	n    int32
+}
+
+type matchLevel struct {
+	src  candSrc
+	pos  int   // cursor into src.list
+	cur  int32 // current chain fact id+1; 0 = exhausted
+	undo []int32
+}
+
+// start positions the level at the first candidate of its source.
+func (L *matchLevel) start(src candSrc) {
+	L.src = src
+	L.pos = 0
+	L.cur = 0
+	if src.list == nil && src.n > 0 {
+		L.cur = int32(src.head) + 1
+	}
+}
+
+// next yields the level's next candidate fact id.
+func (L *matchLevel) next(in *Instance) (FactID, bool) {
+	if L.src.list != nil {
+		if L.pos < len(L.src.list) {
+			f := L.src.list[L.pos]
+			L.pos++
+			return f, true
+		}
+		return 0, false
+	}
+	if L.cur == 0 {
+		return 0, false
+	}
+	f := FactID(L.cur - 1)
+	L.cur = in.next[in.facts[f].off+L.src.pos]
+	return f, true
+}
+
+// prepare sizes the scratch for the pattern and returns the binding slice
+// reset to all-unbound.
+func (sc *MatchScratch) prepare(p *Pattern) []TermID {
+	if cap(sc.binding) < p.NumVars {
+		sc.binding = make([]TermID, p.NumVars)
+	}
+	if len(sc.levels) < len(p.Atoms) {
+		sc.levels = append(sc.levels, make([]matchLevel, len(p.Atoms)-len(sc.levels))...)
+	}
+	b := sc.binding[:p.NumVars]
+	for i := range b {
+		b[i] = NoTerm
+	}
+	return b
+}
+
+// matchAtomInto unifies the pattern atom with the fact under the current
+// binding. Variables newly bound are recorded in *undo (reset first) for
+// backtracking; on failure the binding is restored and false returned.
+func matchAtomInto(pa *PatternAtom, f Fact, binding []TermID, undo *[]int32) bool {
+	u := (*undo)[:0]
 	for i, s := range pa.Args {
 		t := f.Args[i]
 		if !s.IsVar {
 			if s.Term != t {
-				undo(binding, bound)
-				return nil, false
+				undoBinding(binding, u)
+				*undo = u
+				return false
 			}
 			continue
 		}
 		if b := binding[s.Var]; b != NoTerm {
 			if b != t {
-				undo(binding, bound)
-				return nil, false
+				undoBinding(binding, u)
+				*undo = u
+				return false
 			}
 			continue
 		}
 		binding[s.Var] = t
-		bound = append(bound, s.Var)
+		u = append(u, int32(s.Var))
 	}
-	return bound, true
+	*undo = u
+	return true
 }
 
-func undo(binding []TermID, bound []int) {
+func undoBinding(binding []TermID, bound []int32) {
 	for _, v := range bound {
 		binding[v] = NoTerm
 	}
 }
 
-// candidates returns the candidate fact ids for a pattern atom under the
-// current binding, choosing the most selective available access path:
-// the (pred, pos, term) index when some argument is already ground, else
-// the full predicate extent. The returned estimate is len(candidates).
-func (in *Instance) candidates(pa *PatternAtom, binding []TermID) []FactID {
-	best := in.byPred[pa.Pred]
+// candSource returns the candidate source for a pattern atom under the
+// current binding, choosing the most selective available access path: the
+// shortest (pred, pos, term) index chain among the ground argument
+// positions, else the full predicate extent. Allocation-free.
+func (in *Instance) candSource(pa *PatternAtom, binding []TermID) candSrc {
+	ext := in.byPred[pa.Pred]
+	best := candSrc{list: ext, n: int32(len(ext))}
 	usedIndex := false
 	for i, s := range pa.Args {
 		var t TermID = NoTerm
@@ -118,9 +344,12 @@ func (in *Instance) candidates(pa *PatternAtom, binding []TermID) []FactID {
 			t = binding[s.Var]
 		}
 		if t != NoTerm {
-			c := in.ByPosTerm(pa.Pred, i, t)
-			if !usedIndex || len(c) < len(best) {
-				best = c
+			ref, ok := in.posting(pa.Pred, int32(i), t)
+			if !ok {
+				return candSrc{} // no fact matches this ground position
+			}
+			if !usedIndex || ref.count < best.n {
+				best = candSrc{head: ref.head, pos: int32(i), n: ref.count}
 				usedIndex = true
 			}
 		}
@@ -128,90 +357,106 @@ func (in *Instance) candidates(pa *PatternAtom, binding []TermID) []FactID {
 	return best
 }
 
-// FindHoms enumerates every homomorphism from the pattern into the
-// instance, extending the initial binding (pass nil for an unconstrained
-// search). The callback receives the complete binding (indexed by pattern
-// variable); it must not retain the slice. Returning false stops the
-// enumeration. FindHoms reports whether the enumeration ran to completion
-// (true) or was stopped by the callback (false).
-//
-// Join order: at each step the remaining atom with the fewest candidate
-// facts under the current binding is matched next — a greedy
-// smallest-relation-first plan that keeps the backtracking search cheap on
-// the chase workloads (bodies are small, instances are large).
-func (in *Instance) FindHoms(p *Pattern, initial []TermID, yield func(binding []TermID) bool) bool {
-	binding := make([]TermID, p.NumVars)
-	for i := range binding {
-		binding[i] = NoTerm
-	}
-	for i, t := range initial {
-		if i < len(binding) {
-			binding[i] = t
-		}
-	}
-	remaining := make([]int, len(p.Atoms))
-	for i := range remaining {
-		remaining[i] = i
-	}
-	return in.findRec(p, binding, remaining, yield)
-}
-
-// FindHomsAnchored enumerates homomorphisms in which the pattern atom at
-// index anchor is mapped exactly to the fact with id anchorFact. This is the
-// delta-matching primitive used by the chase engines: when a fact is newly
-// derived, only homomorphisms using it need to be discovered.
-func (in *Instance) FindHomsAnchored(p *Pattern, anchor int, anchorFact FactID, yield func(binding []TermID) bool) bool {
-	binding := make([]TermID, p.NumVars)
-	for i := range binding {
-		binding[i] = NoTerm
-	}
-	bound, ok := matchAtom(&p.Atoms[anchor], in.facts[anchorFact], binding)
-	if !ok {
-		return true
-	}
-	remaining := make([]int, 0, len(p.Atoms)-1)
-	for i := range p.Atoms {
-		if i != anchor {
-			remaining = append(remaining, i)
-		}
-	}
-	complete := in.findRec(p, binding, remaining, yield)
-	undo(binding, bound)
-	return complete
-}
-
-func (in *Instance) findRec(p *Pattern, binding []TermID, remaining []int, yield func([]TermID) bool) bool {
-	if len(remaining) == 0 {
-		return yield(binding)
-	}
-	// Pick the remaining atom with the fewest candidates.
-	bestPos := 0
-	var bestCand []FactID
-	for i, ai := range remaining {
-		c := in.candidates(&p.Atoms[ai], binding)
-		if i == 0 || len(c) < len(bestCand) {
-			bestPos, bestCand = i, c
-			if len(c) == 0 {
-				return true // no match possible down this branch
-			}
-		}
-	}
-	ai := remaining[bestPos]
-	rest := make([]int, 0, len(remaining)-1)
-	rest = append(rest, remaining[:bestPos]...)
-	rest = append(rest, remaining[bestPos+1:]...)
-	for _, fid := range bestCand {
-		bound, ok := matchAtom(&p.Atoms[ai], in.facts[fid], binding)
-		if !ok {
-			continue
-		}
-		if !in.findRec(p, binding, rest, yield) {
-			undo(binding, bound)
+// runPlan enumerates matches of the ordered atoms, extending binding,
+// with an iterative backtracking loop over per-level candidate cursors.
+// It reports whether the enumeration ran to completion. A nil yield is
+// the allocation-free existence check: the enumeration "stops" (returns
+// false) at the first complete match.
+func (in *Instance) runPlan(p *Pattern, order []int32, sc *MatchScratch, binding []TermID, yield func([]TermID) bool) bool {
+	n := len(order)
+	if n == 0 {
+		if yield == nil {
 			return false
 		}
-		undo(binding, bound)
+		return yield(binding)
 	}
-	return true
+	levels := sc.levels[:n]
+	lvl := 0
+	levels[0].start(in.candSource(&p.Atoms[order[0]], binding))
+	for {
+		L := &levels[lvl]
+		descended := false
+		for {
+			fid, ok := L.next(in)
+			if !ok {
+				break
+			}
+			if !matchAtomInto(&p.Atoms[order[lvl]], in.facts[fid], binding, &L.undo) {
+				continue
+			}
+			if lvl+1 == n {
+				if yield == nil || !yield(binding) {
+					return false
+				}
+				undoBinding(binding, L.undo)
+				continue
+			}
+			lvl++
+			levels[lvl].start(in.candSource(&p.Atoms[order[lvl]], binding))
+			descended = true
+			break
+		}
+		if descended {
+			continue
+		}
+		if lvl == 0 {
+			return true
+		}
+		lvl--
+		undoBinding(binding, levels[lvl].undo)
+	}
+}
+
+func checkInitial(p *Pattern, initial []TermID) {
+	if len(initial) > p.NumVars {
+		panic(fmt.Sprintf("instance: FindHoms initial binding has %d terms but the pattern has %d variables",
+			len(initial), p.NumVars))
+	}
+}
+
+// FindHomsWith enumerates every homomorphism from the pattern into the
+// instance using the caller's scratch, extending the initial binding
+// (pass nil for an unconstrained search; an initial binding longer than
+// p.NumVars panics). The callback receives the complete binding (indexed
+// by pattern variable); it must not retain the slice. Returning false
+// stops the enumeration. FindHomsWith reports whether the enumeration ran
+// to completion (true) or was stopped by the callback (false).
+//
+// Join order: the pattern's precompiled plan — atoms ordered by
+// selectivity class — with the access path per level (index posting list
+// vs full extent) still chosen at run time against the live binding.
+func (in *Instance) FindHomsWith(sc *MatchScratch, p *Pattern, initial []TermID, yield func(binding []TermID) bool) bool {
+	checkInitial(p, initial)
+	p.Compile()
+	binding := sc.prepare(p)
+	copy(binding, initial)
+	return in.runPlan(p, p.plans[0], sc, binding, yield)
+}
+
+// FindHoms is FindHomsWith with a one-shot scratch. Prefer FindHomsWith
+// on hot paths.
+func (in *Instance) FindHoms(p *Pattern, initial []TermID, yield func(binding []TermID) bool) bool {
+	var sc MatchScratch
+	return in.FindHomsWith(&sc, p, initial, yield)
+}
+
+// FindHomsAnchoredWith enumerates homomorphisms in which the pattern atom
+// at index anchor is mapped exactly to the fact with id anchorFact. This
+// is the delta-matching primitive used by the chase engines: when a fact
+// is newly derived, only homomorphisms using it need to be discovered.
+func (in *Instance) FindHomsAnchoredWith(sc *MatchScratch, p *Pattern, anchor int, anchorFact FactID, yield func(binding []TermID) bool) bool {
+	p.Compile()
+	binding := sc.prepare(p)
+	if !matchAtomInto(&p.Atoms[anchor], in.facts[anchorFact], binding, &sc.anchor) {
+		return true
+	}
+	return in.runPlan(p, p.plans[1+anchor], sc, binding, yield)
+}
+
+// FindHomsAnchored is FindHomsAnchoredWith with a one-shot scratch.
+func (in *Instance) FindHomsAnchored(p *Pattern, anchor int, anchorFact FactID, yield func(binding []TermID) bool) bool {
+	var sc MatchScratch
+	return in.FindHomsAnchoredWith(&sc, p, anchor, anchorFact, yield)
 }
 
 // CountHoms returns the number of homomorphisms from the pattern into the
@@ -222,10 +467,18 @@ func (in *Instance) CountHoms(p *Pattern) int {
 	return n
 }
 
-// HasHom reports whether at least one homomorphism extending the initial
-// binding exists.
+// HasHomWith reports whether at least one homomorphism extending the
+// initial binding exists, using the caller's scratch. Allocation-free.
+func (in *Instance) HasHomWith(sc *MatchScratch, p *Pattern, initial []TermID) bool {
+	checkInitial(p, initial)
+	p.Compile()
+	binding := sc.prepare(p)
+	copy(binding, initial)
+	return !in.runPlan(p, p.plans[0], sc, binding, nil)
+}
+
+// HasHom is HasHomWith with a one-shot scratch.
 func (in *Instance) HasHom(p *Pattern, initial []TermID) bool {
-	found := false
-	in.FindHoms(p, initial, func([]TermID) bool { found = true; return false })
-	return found
+	var sc MatchScratch
+	return in.HasHomWith(&sc, p, initial)
 }

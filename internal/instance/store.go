@@ -1,7 +1,6 @@
 package instance
 
 import (
-	"encoding/binary"
 	"fmt"
 	"sort"
 	"strings"
@@ -20,17 +19,81 @@ type FactID int32
 type Fact struct {
 	Pred PredID
 	Args []TermID
+	// off is the fact's offset in the owning instance's argArena; the
+	// (pred, pos, term) index chains through it. Zero for facts built
+	// outside an instance.
+	off int32
 }
 
-type indexKey struct {
-	pred PredID
-	pos  int32
-	term TermID
+// postEntry is one posting chain of the (pred, pos, term) index: the key
+// plus the first and last fact of the chain and its length. Facts are
+// linked through Instance.next in insertion order, so enumeration visits
+// facts exactly as posting-list slices would — without allocating a list
+// per key. Entries live inline in an open-addressed, pointer-free table
+// (count == 0 marks an empty slot), so index maintenance costs neither a
+// Go map operation nor GC scan work.
+type postEntry struct {
+	pred       PredID
+	pos        int32
+	term       TermID
+	head, tail FactID
+	count      int32
+}
+
+func postHash(p PredID, pos int32, term TermID) uint64 {
+	h := hashMix(hashSeed, uint64(uint32(p))|uint64(uint32(pos))<<32)
+	return hashFinish(hashMix(h, uint64(uint32(term))))
+}
+
+// postTable is the open-addressed (pred, pos, term) index.
+type postTable struct {
+	entries []postEntry
+	n       int
+}
+
+// lookup returns the entry for the key, or the empty slot it belongs in.
+func (pt *postTable) lookup(p PredID, pos int32, term TermID) *postEntry {
+	mask := uint64(len(pt.entries) - 1)
+	i := postHash(p, pos, term) & mask
+	for {
+		e := &pt.entries[i]
+		if e.count == 0 || (e.pred == p && e.pos == pos && e.term == term) {
+			return e
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (pt *postTable) grow() {
+	old := pt.entries
+	size := 2 * len(old)
+	if size == 0 {
+		size = 64
+	}
+	pt.entries = make([]postEntry, size)
+	mask := uint64(size - 1)
+	for i := range old {
+		e := &old[i]
+		if e.count == 0 {
+			continue
+		}
+		j := postHash(e.pred, e.pos, e.term) & mask
+		for pt.entries[j].count != 0 {
+			j = (j + 1) & mask
+		}
+		pt.entries[j] = *e
+	}
 }
 
 // Instance is a set of facts (a database instance, possibly containing
 // invented nulls or Skolem terms) with per-predicate extents and a
 // (predicate, position, term) hash index used by the homomorphism matcher.
+//
+// Concurrency: an Instance is single-writer. Mutating methods (Add, Pred,
+// AddLogicAtom, and anything that interns terms) must be serialized by the
+// caller; once an instance is frozen — no more writers — any number of
+// goroutines may read it concurrently (Contains, ByPred, ByPosTerm,
+// FindHoms and friends with per-goroutine MatchScratch, FactString, ...).
 type Instance struct {
 	Terms *TermTable
 
@@ -38,10 +101,14 @@ type Instance struct {
 	predNames  []string
 	predArity  []int
 
-	facts  []Fact
-	lookup map[string]FactID
-	byPred [][]FactID
-	index  map[indexKey][]FactID
+	facts     []Fact
+	factSlots []int32  // open-addressed: FactID+1, 0 = empty; keys live in facts
+	argArena  []TermID // backing storage of every Fact.Args, append-only
+	next      []int32  // parallel to argArena: next fact id+1 in the index chain
+	byPred    [][]FactID
+	index     postTable
+
+	atomBuf []TermID // AddLogicAtom scratch (single-writer, like all mutation)
 }
 
 // New creates an empty instance with a fresh term table.
@@ -49,8 +116,6 @@ func New() *Instance {
 	return &Instance{
 		Terms:      NewTermTable(),
 		predByName: make(map[string]PredID),
-		lookup:     make(map[string]FactID),
-		index:      make(map[indexKey][]FactID),
 	}
 }
 
@@ -94,60 +159,148 @@ func (in *Instance) Size() int { return len(in.facts) }
 // underlying argument slice; callers must not modify it.
 func (in *Instance) Fact(id FactID) Fact { return in.facts[id] }
 
-func factKey(p PredID, args []TermID) string {
-	var b strings.Builder
-	b.Grow(4 + 4*len(args))
-	var buf [4]byte
-	binary.LittleEndian.PutUint32(buf[:], uint32(p))
-	b.Write(buf[:])
-	for _, a := range args {
-		binary.LittleEndian.PutUint32(buf[:], uint32(a))
-		b.Write(buf[:])
+// factHash keys the fact dedup table: the predicate id tagged over the
+// argument tuple. No key value is built — probes compare against in.facts.
+func factHash(p PredID, args []TermID) uint64 { return hashTuple(int32(p), args) }
+
+// findFact probes the open-addressed fact table. It returns the id on a
+// hit, or the slot index where the fact would be inserted on a miss.
+func (in *Instance) findFact(p PredID, args []TermID, h uint64) (FactID, uint64, bool) {
+	mask := uint64(len(in.factSlots) - 1)
+	i := h & mask
+	for {
+		v := in.factSlots[i]
+		if v == 0 {
+			return 0, i, false
+		}
+		f := &in.facts[v-1]
+		if f.Pred == p && termsEqual(f.Args, args) {
+			return FactID(v - 1), i, true
+		}
+		i = (i + 1) & mask
 	}
-	return b.String()
+}
+
+func (in *Instance) growFactSlots(size int) {
+	in.factSlots = make([]int32, size)
+	mask := uint64(size - 1)
+	for id := range in.facts {
+		f := &in.facts[id]
+		i := factHash(f.Pred, f.Args) & mask
+		for in.factSlots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		in.factSlots[i] = int32(id) + 1
+	}
 }
 
 // Add inserts the fact p(args...) if not already present. It returns the
 // fact id and whether the fact was newly added. The args slice is copied.
 func (in *Instance) Add(p PredID, args []TermID) (FactID, bool) {
-	key := factKey(p, args)
-	if id, ok := in.lookup[key]; ok {
-		return id, false
+	if len(in.factSlots) == 0 {
+		in.growFactSlots(16)
+	} else if len(in.facts)*4 >= len(in.factSlots)*3 {
+		in.growFactSlots(len(in.factSlots) * 2)
 	}
-	own := make([]TermID, len(args))
-	copy(own, args)
+	id0, slot, ok := in.findFact(p, args, factHash(p, args))
+	if ok {
+		return id0, false
+	}
+	// Copy args into the arena: amortized-free, and earlier Fact.Args
+	// slices stay valid across arena growth (the old backing is immutable).
+	start := len(in.argArena)
+	in.argArena = append(in.argArena, args...)
+	own := in.argArena[start:len(in.argArena):len(in.argArena)]
+	for range args {
+		in.next = append(in.next, 0)
+	}
 	id := FactID(len(in.facts))
-	in.facts = append(in.facts, Fact{Pred: p, Args: own})
-	in.lookup[key] = id
+	in.facts = append(in.facts, Fact{Pred: p, Args: own, off: int32(start)})
+	in.factSlots[slot] = int32(id) + 1
 	in.byPred[p] = append(in.byPred[p], id)
 	for i, t := range own {
-		k := indexKey{pred: p, pos: int32(i), term: t}
-		in.index[k] = append(in.index[k], id)
+		if (in.index.n+len(own))*4 >= len(in.index.entries)*3 {
+			in.index.grow()
+		}
+		e := in.index.lookup(p, int32(i), t)
+		if e.count == 0 {
+			*e = postEntry{pred: p, pos: int32(i), term: t, head: id, tail: id, count: 1}
+			in.index.n++
+		} else {
+			in.next[in.facts[e.tail].off+int32(i)] = int32(id) + 1
+			e.tail = id
+			e.count++
+		}
 	}
 	return id, true
 }
 
-// Contains reports whether the fact p(args...) is present.
+// Contains reports whether the fact p(args...) is present. It performs no
+// allocation.
 func (in *Instance) Contains(p PredID, args []TermID) bool {
-	_, ok := in.lookup[factKey(p, args)]
+	if len(in.factSlots) == 0 {
+		return false
+	}
+	_, _, ok := in.findFact(p, args, factHash(p, args))
 	return ok
+}
+
+// Lookup returns the id of the fact p(args...) if present. Like Contains
+// it performs no allocation.
+func (in *Instance) Lookup(p PredID, args []TermID) (FactID, bool) {
+	if len(in.factSlots) == 0 {
+		return 0, false
+	}
+	id, _, ok := in.findFact(p, args, factHash(p, args))
+	return id, ok
 }
 
 // ByPred returns the ids of all facts with the given predicate, in insertion
 // order. The slice must not be modified.
 func (in *Instance) ByPred(p PredID) []FactID { return in.byPred[p] }
 
-// ByPosTerm returns the ids of all facts with predicate p whose argument at
-// position pos equals term. The slice must not be modified.
+// posting looks up the (pred, pos, term) index chain.
+func (in *Instance) posting(p PredID, pos int32, term TermID) (postEntry, bool) {
+	if len(in.index.entries) == 0 {
+		return postEntry{}, false
+	}
+	e := in.index.lookup(p, pos, term)
+	if e.count == 0 {
+		return postEntry{}, false
+	}
+	return *e, true
+}
+
+// ByPosTerm returns the ids of all facts with predicate p whose argument
+// at position pos equals term, in insertion order. The index stores
+// intrusive chains, so this materializes a fresh slice per call — it is a
+// convenience for tests and diagnostics; the matcher walks the chains
+// directly.
 func (in *Instance) ByPosTerm(p PredID, pos int, term TermID) []FactID {
-	return in.index[indexKey{pred: p, pos: int32(pos), term: term}]
+	ref, ok := in.posting(p, int32(pos), term)
+	if !ok {
+		return nil
+	}
+	out := make([]FactID, 0, ref.count)
+	for id, n := ref.head, ref.count; n > 0; n-- {
+		out = append(out, id)
+		nx := in.next[in.facts[id].off+int32(pos)]
+		if nx == 0 {
+			break
+		}
+		id = FactID(nx - 1)
+	}
+	return out
 }
 
 // AddLogicAtom interns and inserts a ground logic.Atom (constants only).
 // It returns an error if the atom contains a variable.
 func (in *Instance) AddLogicAtom(a logic.Atom) (FactID, bool, error) {
 	p := in.Pred(a.Pred, len(a.Args))
-	args := make([]TermID, len(a.Args))
+	if cap(in.atomBuf) < len(a.Args) {
+		in.atomBuf = make([]TermID, len(a.Args))
+	}
+	args := in.atomBuf[:len(a.Args)]
 	for i, t := range a.Args {
 		c, ok := t.(logic.Constant)
 		if !ok {
@@ -155,7 +308,7 @@ func (in *Instance) AddLogicAtom(a logic.Atom) (FactID, bool, error) {
 		}
 		args[i] = in.Terms.Const(string(c))
 	}
-	id, added := in.Add(p, args)
+	id, added := in.Add(p, args) // Add copies args
 	return id, added, nil
 }
 

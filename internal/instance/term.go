@@ -8,10 +8,23 @@
 // makes the semi-oblivious (Skolem) chase's "two homomorphisms agreeing on
 // the frontier are indistinguishable" concrete: equal frontier tuples yield
 // the identical Skolem term ids and therefore the identical facts.
+//
+// # Concurrency: the single-writer contract
+//
+// Instances, term tables and tuple sets are single-writer data structures:
+// all mutation (adding facts, interning terms or predicates, inserting
+// tuples) must happen from one goroutine at a time, with no concurrent
+// readers. Once frozen — the writer is done and the hand-off is
+// synchronized — any number of goroutines may read concurrently: Contains,
+// Lookup, ByPred, ByPosTerm, rendering, and homomorphism enumeration with
+// a per-goroutine MatchScratch over patterns whose plans were compiled
+// before the hand-off (CompileBody compiles them eagerly). The chase
+// engine, which owns its instance exclusively while running, relies on
+// exactly this contract; so does the service layer, which only shares
+// chase results after the run completes.
 package instance
 
 import (
-	"encoding/binary"
 	"fmt"
 	"strings"
 )
@@ -49,27 +62,40 @@ func (k TermKind) String() string {
 	}
 }
 
+// SkolemFnID is a dense identifier of an interned Skolem function symbol.
+type SkolemFnID int32
+
+// NoSkolemFn is returned by SkolemFnOf for non-Skolem terms.
+const NoSkolemFn SkolemFnID = -1
+
 type termInfo struct {
-	kind  TermKind
-	name  string // constant name; Skolem function name; empty for nulls
+	kind TermKind
+	name string // constant name; empty for nulls and Skolem terms
+	// aux is the null ordinal (nulls) or the SkolemFnID (Skolem terms).
+	aux   int32
 	args  []TermID
 	depth int32 // Skolem nesting depth; "birth depth" for nulls; 0 for constants
 }
 
 // TermTable interns ground terms. The zero value is not usable; call
-// NewTermTable.
+// NewTermTable. Like Instance, a TermTable is single-writer: interning
+// must be serialized, concurrent reads of a frozen table are safe.
 type TermTable struct {
-	infos   []termInfo
-	consts  map[string]TermID
-	skolems map[string]TermID
-	nulls   int
+	infos  []termInfo
+	consts map[string]TermID
+	nulls  int
+
+	fnNames []string
+	fnIDs   map[string]SkolemFnID
+	skSlots []int32 // open-addressed: TermID+1 of Skolem terms, 0 = empty
+	skCount int
 }
 
 // NewTermTable creates an empty term table.
 func NewTermTable() *TermTable {
 	return &TermTable{
-		consts:  make(map[string]TermID),
-		skolems: make(map[string]TermID),
+		consts: make(map[string]TermID),
+		fnIDs:  make(map[string]SkolemFnID),
 	}
 }
 
@@ -100,16 +126,60 @@ func (t *TermTable) LookupConst(name string) (TermID, bool) {
 func (t *TermTable) FreshNull(depth int32) TermID {
 	id := TermID(len(t.infos))
 	t.nulls++
-	t.infos = append(t.infos, termInfo{kind: KindNull, name: fmt.Sprintf("z%d", t.nulls), depth: depth})
+	// The "z<n>" display name is rendered lazily by Name/String so that
+	// inventing a null costs no formatting allocation on the chase path.
+	t.infos = append(t.infos, termInfo{kind: KindNull, aux: int32(t.nulls), depth: depth})
 	return id
 }
 
-// Skolem interns the Skolem term fn(args...). fn names must be unique per
-// (rule, existential variable) pair; the chase engine guarantees this.
-func (t *TermTable) Skolem(fn string, args []TermID) TermID {
-	key := skolemKey(fn, args)
-	if id, ok := t.skolems[key]; ok {
+// SkolemFn interns a Skolem function symbol by name. The chase engine
+// resolves its per-(rule, existential) function names to ids once at
+// compile time so that Skolem interning is integer-keyed.
+func (t *TermTable) SkolemFn(name string) SkolemFnID {
+	if id, ok := t.fnIDs[name]; ok {
 		return id
+	}
+	id := SkolemFnID(len(t.fnNames))
+	t.fnNames = append(t.fnNames, name)
+	t.fnIDs[name] = id
+	return id
+}
+
+// SkolemFnName returns the name of an interned Skolem function.
+func (t *TermTable) SkolemFnName(fn SkolemFnID) string { return t.fnNames[fn] }
+
+// SkolemFnBytes is SkolemFn for a name assembled in a byte buffer: the
+// lookup allocates nothing on a hit (the string conversion materializes
+// only on a miss).
+func (t *TermTable) SkolemFnBytes(name []byte) SkolemFnID {
+	if id, ok := t.fnIDs[string(name)]; ok {
+		return id
+	}
+	return t.SkolemFn(string(name))
+}
+
+// Skolem interns the Skolem term fn(args...). Function symbols are unique
+// per (rule, existential variable) pair; the chase engine guarantees this.
+// Re-interning an existing term performs no allocation.
+func (t *TermTable) Skolem(fn SkolemFnID, args []TermID) TermID {
+	if len(t.skSlots) == 0 {
+		t.growSkolemSlots(16)
+	} else if t.skCount*4 >= len(t.skSlots)*3 {
+		t.growSkolemSlots(len(t.skSlots) * 2)
+	}
+	h := hashTuple(int32(fn), args)
+	mask := uint64(len(t.skSlots) - 1)
+	i := h & mask
+	for {
+		v := t.skSlots[i]
+		if v == 0 {
+			break
+		}
+		in := &t.infos[v-1]
+		if SkolemFnID(in.aux) == fn && termsEqual(in.args, args) {
+			return TermID(v - 1)
+		}
+		i = (i + 1) & mask
 	}
 	depth := int32(0)
 	for _, a := range args {
@@ -120,22 +190,25 @@ func (t *TermTable) Skolem(fn string, args []TermID) TermID {
 	id := TermID(len(t.infos))
 	own := make([]TermID, len(args))
 	copy(own, args)
-	t.infos = append(t.infos, termInfo{kind: KindSkolem, name: fn, args: own, depth: depth + 1})
-	t.skolems[key] = id
+	t.infos = append(t.infos, termInfo{kind: KindSkolem, aux: int32(fn), args: own, depth: depth + 1})
+	t.skSlots[i] = int32(id) + 1
+	t.skCount++
 	return id
 }
 
-func skolemKey(fn string, args []TermID) string {
-	var b strings.Builder
-	b.Grow(len(fn) + 1 + 4*len(args))
-	b.WriteString(fn)
-	b.WriteByte(0)
-	var buf [4]byte
-	for _, a := range args {
-		binary.LittleEndian.PutUint32(buf[:], uint32(a))
-		b.Write(buf[:])
+func (t *TermTable) growSkolemSlots(size int) {
+	t.skSlots = make([]int32, size)
+	mask := uint64(size - 1)
+	for id, in := range t.infos {
+		if in.kind != KindSkolem {
+			continue
+		}
+		i := hashTuple(in.aux, in.args) & mask
+		for t.skSlots[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.skSlots[i] = int32(id) + 1
 	}
-	return b.String()
 }
 
 // Kind returns the kind of a term.
@@ -153,20 +226,42 @@ func (t *TermTable) IsInvented(id TermID) bool { return t.infos[id].kind != Kind
 // The slice must not be modified.
 func (t *TermTable) SkolemArgs(id TermID) []TermID { return t.infos[id].args }
 
-// Name returns the constant name or Skolem function name ("" for nulls).
-func (t *TermTable) Name(id TermID) string { return t.infos[id].name }
+// SkolemFnOf returns the function symbol of a Skolem term, or NoSkolemFn
+// for constants and nulls.
+func (t *TermTable) SkolemFnOf(id TermID) SkolemFnID {
+	if t.infos[id].kind != KindSkolem {
+		return NoSkolemFn
+	}
+	return SkolemFnID(t.infos[id].aux)
+}
+
+// Name returns the constant name, the Skolem function name, or the "z<n>"
+// display name of a null.
+func (t *TermTable) Name(id TermID) string {
+	in := &t.infos[id]
+	switch in.kind {
+	case KindNull:
+		return fmt.Sprintf("z%d", in.aux)
+	case KindSkolem:
+		return t.fnNames[in.aux]
+	default:
+		return in.name
+	}
+}
 
 // String renders the term for diagnostics.
 func (t *TermTable) String(id TermID) string {
 	in := t.infos[id]
 	switch in.kind {
-	case KindConst, KindNull:
+	case KindConst:
 		return in.name
+	case KindNull:
+		return fmt.Sprintf("z%d", in.aux)
 	default:
 		parts := make([]string, len(in.args))
 		for i, a := range in.args {
 			parts[i] = t.String(a)
 		}
-		return in.name + "(" + strings.Join(parts, ",") + ")"
+		return t.fnNames[in.aux] + "(" + strings.Join(parts, ",") + ")"
 	}
 }

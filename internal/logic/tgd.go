@@ -190,9 +190,12 @@ func NewRuleSet(rules ...*TGD) *RuleSet { return &RuleSet{Rules: rules} }
 // predicate name must be used with a single arity across the whole set.
 func (rs *RuleSet) Validate() error {
 	arities := make(map[string]int)
-	check := func(a Atom, where string) error {
+	// The location string is only materialized on the error path: Validate
+	// runs in front of every chase/decision and must not allocate per atom.
+	check := func(a Atom, section string, rule int) error {
 		if k, ok := arities[a.Pred]; ok && k != len(a.Args) {
-			return fmt.Errorf("logic: predicate %s used with arities %d and %d (%s)", a.Pred, k, len(a.Args), where)
+			return fmt.Errorf("logic: predicate %s used with arities %d and %d (%s of rule %d)",
+				a.Pred, k, len(a.Args), section, rule)
 		}
 		arities[a.Pred] = len(a.Args)
 		return nil
@@ -202,12 +205,12 @@ func (rs *RuleSet) Validate() error {
 			return err
 		}
 		for _, a := range r.Body {
-			if err := check(a, fmt.Sprintf("body of rule %d", i)); err != nil {
+			if err := check(a, "body", i); err != nil {
 				return err
 			}
 		}
 		for _, a := range r.Head {
-			if err := check(a, fmt.Sprintf("head of rule %d", i)); err != nil {
+			if err := check(a, "head", i); err != nil {
 				return err
 			}
 		}

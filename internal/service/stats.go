@@ -2,6 +2,7 @@ package service
 
 import (
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -39,6 +40,58 @@ type Snapshot struct {
 	JobsFailed    int64   `json:"jobsFailed"`
 	P50Millis     float64 `json:"p50Millis"`
 	P99Millis     float64 `json:"p99Millis"`
+
+	Runtime RuntimeStats `json:"runtime"`
+}
+
+// RuntimeStats surfaces the Go runtime's memory and GC counters, so an
+// operator can watch the allocation rate and collector behaviour of a
+// live chased without attaching a profiler. For deeper digging, start the
+// server with -pprof and use net/http/pprof.
+type RuntimeStats struct {
+	// HeapAllocBytes is the live heap (runtime.MemStats.HeapAlloc).
+	HeapAllocBytes uint64 `json:"heapAllocBytes"`
+	// HeapObjects counts live heap objects.
+	HeapObjects uint64 `json:"heapObjects"`
+	// TotalAllocBytes is the cumulative bytes allocated since start.
+	TotalAllocBytes uint64 `json:"totalAllocBytes"`
+	// AllocBytesPerSec is TotalAllocBytes averaged over the uptime — the
+	// mean allocation rate the decision engines put on the collector.
+	AllocBytesPerSec float64 `json:"allocBytesPerSec"`
+	// Mallocs is the cumulative count of heap allocations.
+	Mallocs uint64 `json:"mallocs"`
+	// NumGC is the number of completed GC cycles.
+	NumGC uint32 `json:"numGC"`
+	// GCPauseTotalMillis is the cumulative stop-the-world pause time.
+	GCPauseTotalMillis float64 `json:"gcPauseTotalMillis"`
+	// LastGCPauseMillis is the most recent pause.
+	LastGCPauseMillis float64 `json:"lastGCPauseMillis"`
+	// GCCPUFraction is the fraction of CPU time spent in GC since start.
+	GCCPUFraction float64 `json:"gcCPUFraction"`
+	// NumGoroutine is the current goroutine count.
+	NumGoroutine int `json:"numGoroutine"`
+}
+
+func readRuntimeStats(uptime time.Duration) RuntimeStats {
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	rs := RuntimeStats{
+		HeapAllocBytes:     m.HeapAlloc,
+		HeapObjects:        m.HeapObjects,
+		TotalAllocBytes:    m.TotalAlloc,
+		Mallocs:            m.Mallocs,
+		NumGC:              m.NumGC,
+		GCPauseTotalMillis: float64(m.PauseTotalNs) / 1e6,
+		GCCPUFraction:      m.GCCPUFraction,
+		NumGoroutine:       runtime.NumGoroutine(),
+	}
+	if m.NumGC > 0 {
+		rs.LastGCPauseMillis = float64(m.PauseNs[(m.NumGC+255)%256]) / 1e6
+	}
+	if s := uptime.Seconds(); s > 0 {
+		rs.AllocBytesPerSec = float64(m.TotalAlloc) / s
+	}
+	return rs
 }
 
 // latencyWindow keeps the most recent N job latencies in a ring and
@@ -118,8 +171,10 @@ func (s *Stats) CacheMisses() int64 { return s.cacheMisses.Load() }
 
 func (s *Stats) snapshot(cacheEntries int) Snapshot {
 	p50, p99 := s.lat.quantiles()
+	uptime := time.Since(s.start)
 	return Snapshot{
-		UptimeSeconds: time.Since(s.start).Seconds(),
+		UptimeSeconds: uptime.Seconds(),
+		Runtime:       readRuntimeStats(uptime),
 		CacheHits:     s.cacheHits.Load(),
 		CacheMisses:   s.cacheMisses.Load(),
 		CacheEntries:  cacheEntries,

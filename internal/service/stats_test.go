@@ -71,3 +71,19 @@ func TestLatencyQuantilesNearestRank(t *testing.T) {
 		}
 	})
 }
+
+func TestSnapshotRuntimeCounters(t *testing.T) {
+	s := newStats()
+	s.observe(5*time.Millisecond, false)
+	snap := s.snapshot(0)
+	rt := snap.Runtime
+	if rt.HeapAllocBytes == 0 || rt.TotalAllocBytes == 0 || rt.Mallocs == 0 {
+		t.Errorf("runtime memory counters not populated: %+v", rt)
+	}
+	if rt.NumGoroutine <= 0 {
+		t.Errorf("NumGoroutine = %d, want > 0", rt.NumGoroutine)
+	}
+	if rt.AllocBytesPerSec <= 0 {
+		t.Errorf("AllocBytesPerSec = %v, want > 0", rt.AllocBytesPerSec)
+	}
+}
