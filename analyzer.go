@@ -84,6 +84,7 @@ type Request struct {
 	chaseOpts      ChaseOptions
 	renderFacts    bool
 	withAcyclicity bool
+	sink           ChaseSink
 }
 
 // Variant returns the chase variant the request targets (default
@@ -140,6 +141,15 @@ func WithChaseBudgets(opt ChaseOptions) RequestOption {
 // charges it against a worker slot — opt in with this.
 func WithFacts() RequestOption {
 	return func(r *Request) { r.renderFacts = true }
+}
+
+// WithChaseSink streams the facts an AnalyzeChase run derives through
+// sink, in batches, while the run is in progress — see ChaseSink for
+// the delivery contract. Other kinds ignore the sink. The final Report
+// still carries the complete ChaseResult; combine with a bounded
+// budget or a cancelable context to stop a diverging run.
+func WithChaseSink(sink ChaseSink) RequestOption {
+	return func(r *Request) { r.sink = sink }
 }
 
 // WithAcyclicity attaches the positional acyclicity report
@@ -255,7 +265,7 @@ func (Analyzer) Analyze(ctx context.Context, req Request) (*Report, error) {
 		if db == nil {
 			db = CriticalDatabase(req.Rules)
 		}
-		res, err := runChase(ctx, db, req.Rules, req.Variant(), req.chaseOpts)
+		res, err := runChase(ctx, db, req.Rules, req.Variant(), req.chaseOpts, req.sink)
 		if res == nil {
 			return nil, err
 		}

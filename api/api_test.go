@@ -124,6 +124,26 @@ func goldenCases() []struct {
 		{"error_envelope.json", &ErrorEnvelope{
 			Error: &Error{Code: CodeUnavailable, Message: "engine is shutting down"},
 		}},
+		{"stream_event_facts.json", &StreamEvent{
+			Event: StreamFacts,
+			Facts: []string{"hasFather(bob,f0_Y(bob))", "person(f0_Y(bob))"},
+			Stats: &ChaseStats{InitialFacts: 1, FactsAdded: 2, TriggersApplied: 1},
+		}},
+		{"stream_event_progress.json", &StreamEvent{
+			Event: StreamProgress,
+			Stats: &ChaseStats{InitialFacts: 1, FactsAdded: 512, TriggersApplied: 1024, TriggersSatisfied: 512},
+		}},
+		{"stream_event_done.json", &StreamEvent{
+			Event:   StreamDone,
+			Outcome: "terminated",
+			Stats:   &ChaseStats{InitialFacts: 1, FactsAdded: 4096, TriggersApplied: 4096, MaxTermDepth: 3},
+		}},
+		{"stream_event_error.json", &StreamEvent{
+			Event:   StreamError,
+			Outcome: "canceled",
+			Stats:   &ChaseStats{InitialFacts: 1, FactsAdded: 2048, TriggersApplied: 2048},
+			Error:   &Error{Code: CodeCanceled, Message: "client disconnected mid-stream"},
+		}},
 	}
 }
 
@@ -193,6 +213,19 @@ func TestKindValid(t *testing.T) {
 	for _, k := range []Kind{"", "mystery", "Decide"} {
 		if k.Valid() {
 			t.Errorf("%q reported valid", k)
+		}
+	}
+}
+
+func TestStreamEventTerminal(t *testing.T) {
+	for ev, want := range map[StreamEventType]bool{
+		StreamFacts:    false,
+		StreamProgress: false,
+		StreamDone:     true,
+		StreamError:    true,
+	} {
+		if got := ev.Terminal(); got != want {
+			t.Errorf("%s.Terminal() = %v, want %v", ev, got, want)
 		}
 	}
 }

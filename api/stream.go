@@ -1,0 +1,57 @@
+package api
+
+// This file defines the streaming half of the v2 wire contract:
+// POST /v2/chase/stream answers a chase request with newline-delimited
+// JSON (one StreamEvent per line, Content-Type application/x-ndjson)
+// instead of a single response body, so instances far larger than any
+// reasonable JSON document can be delivered as they are derived.
+//
+// A stream is a sequence of zero or more "facts"/"progress" events
+// followed by exactly one terminal event — "done" on a completed run,
+// "error" otherwise. Pre-flight failures (malformed request, unknown
+// variant, out-of-range budget) never start a stream: they are reported
+// as a plain HTTP error with the usual ErrorEnvelope. Closing the
+// connection mid-stream cancels the producing chase run on the server.
+
+// StreamEventType discriminates the events of a chase stream.
+type StreamEventType string
+
+const (
+	// StreamFacts carries a batch of newly derived facts. Batches are
+	// disjoint and arrive in derivation order: concatenating them yields
+	// every derived fact exactly once.
+	StreamFacts StreamEventType = "facts"
+	// StreamProgress is a liveness heartbeat with running statistics,
+	// emitted between batches even when the run is deriving nothing.
+	StreamProgress StreamEventType = "progress"
+	// StreamDone terminates a completed run; it carries the outcome and
+	// the final statistics.
+	StreamDone StreamEventType = "done"
+	// StreamError terminates a failed or aborted run; it carries the
+	// coded error and, when the run got far enough, the partial outcome
+	// and statistics.
+	StreamError StreamEventType = "error"
+)
+
+// Terminal reports whether the event ends the stream.
+func (t StreamEventType) Terminal() bool { return t == StreamDone || t == StreamError }
+
+// StreamEvent is one line of the NDJSON stream served by
+// POST /v2/chase/stream. Exactly the fields relevant to the event type
+// are populated.
+type StreamEvent struct {
+	// Event discriminates the payload.
+	Event StreamEventType `json:"event"`
+	// Facts is the batch of newly derived facts ("facts" events),
+	// rendered in the library's surface syntax.
+	Facts []string `json:"facts,omitempty"`
+	// Stats is the running total at emission time; on "done" it is the
+	// final tally, on "error" the partial tally if the run started.
+	Stats *ChaseStats `json:"stats,omitempty"`
+	// Outcome reports how the run ended: "terminated",
+	// "budget-exceeded", or "depth-exceeded" on "done" events;
+	// "canceled" on "error" events whose run was aborted mid-flight.
+	Outcome string `json:"outcome,omitempty"`
+	// Error carries the failure of an "error" event.
+	Error *Error `json:"error,omitempty"`
+}

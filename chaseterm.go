@@ -441,26 +441,43 @@ func RunChaseContext(ctx context.Context, db *Database, rules *RuleSet, v Varian
 }
 
 // runChase is the chase-run implementation behind Analyzer.Analyze.
-func runChase(ctx context.Context, db *Database, rules *RuleSet, v Variant, opt ChaseOptions) (*ChaseResult, error) {
-	res, err := chase.RunFromAtomsContext(ctx, db.atoms, rules.rs, v.engine(), chase.Options{
+// A non-nil sink streams derived facts while the run is in progress
+// (see ChaseSink); facts buffered at the end of the run — complete,
+// canceled, or budget-stopped — are flushed before runChase returns.
+func runChase(ctx context.Context, db *Database, rules *RuleSet, v Variant, opt ChaseOptions, sink ChaseSink) (*ChaseResult, error) {
+	copt := chase.Options{
 		MaxTriggers: opt.MaxTriggers,
 		MaxFacts:    opt.MaxFacts,
 		MaxDepth:    int32(opt.MaxDepth),
-	})
+	}
+	var res *chase.Result
+	var err error
+	if sink == nil {
+		res, err = chase.RunFromAtomsContext(ctx, db.atoms, rules.rs, v.engine(), copt)
+	} else {
+		var in *instance.Instance
+		in, err = instance.FromAtoms(db.atoms)
+		if err != nil {
+			return nil, err
+		}
+		var eng *chase.Engine
+		eng, err = chase.NewEngine(in, rules.rs, v.engine(), copt)
+		if err != nil {
+			return nil, err
+		}
+		ad := &sinkAdapter{in: in, sink: sink}
+		res, err = eng.RunStreamContext(ctx, ad)
+		if res != nil {
+			ad.flush(res.Stats)
+		}
+	}
 	if res == nil {
 		return nil, err
 	}
 	out := &ChaseResult{
 		Variant: v,
 		inst:    res.Instance,
-		Stats: ChaseStats{
-			InitialFacts:      res.Stats.InitialFacts,
-			FactsAdded:        res.Stats.FactsAdded,
-			TriggersApplied:   res.Stats.TriggersApplied,
-			TriggersNoop:      res.Stats.TriggersNoop,
-			TriggersSatisfied: res.Stats.TriggersSatisfied,
-			MaxTermDepth:      int(res.Stats.MaxTermDepth),
-		},
+		Stats:   toChaseStats(res.Stats),
 	}
 	switch res.Outcome {
 	case chase.Terminated:
@@ -737,7 +754,7 @@ func decideOnDatabase(ctx context.Context, db *Database, rules *RuleSet, v Varia
 		if opt.OracleMaxFacts > 0 {
 			budgets.MaxFacts = opt.OracleMaxFacts
 		}
-		run, err := runChase(ctx, db, rules, v, budgets)
+		run, err := runChase(ctx, db, rules, v, budgets, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -3,7 +3,8 @@
 // of package api over POST /v2/analyze, takes a context on every call,
 // maps error envelopes back to typed *api.Error values, and retries
 // boundedly when the server answers 503 (a replica shutting down or
-// overloaded).
+// overloaded). ChaseStream consumes the NDJSON chase stream
+// (POST /v2/chase/stream) with a per-event callback.
 //
 //	c := client.New("http://localhost:8080")
 //	resp, err := c.Analyze(ctx, api.AnalyzeRequest{
@@ -118,6 +119,93 @@ func (c *Client) Batch(ctx context.Context, jobs []api.AnalyzeRequest) ([]api.An
 		return nil, err
 	}
 	return out.Results, nil
+}
+
+// ChaseStream runs a chase on the server and consumes its result
+// incrementally from POST /v2/chase/stream: onEvent (optional) is
+// invoked for every "facts" and "progress" event in arrival order, and
+// the terminal "done" event — outcome plus final statistics — is
+// returned. A terminal "error" event comes back as a typed *api.Error
+// (e.g. CodeCanceled, CodeTimeout) together with the event itself, so
+// the partial outcome/statistics the server attaches (how far an
+// aborted run got) stay reachable. Pre-flight HTTP failures are also
+// typed *api.Error (with no event); a pre-flight 503 is retried within
+// the configured budget, but once events have been delivered the call
+// is never retried. An error returned by onEvent stops reading
+// immediately and is returned verbatim; the response body closes, which
+// the server observes as a disconnect and aborts the producing chase
+// run mid-flight.
+func (c *Client) ChaseStream(ctx context.Context, req api.AnalyzeRequest, onEvent func(api.StreamEvent) error) (*api.StreamEvent, error) {
+	if req.Kind == "" {
+		req.Kind = api.KindChase
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
+	}
+	for attempt := 0; ; attempt++ {
+		ev, err := c.streamOnce(ctx, body, onEvent)
+		if err == nil {
+			return ev, nil
+		}
+		var apiErr *api.Error
+		if !errors.As(err, &apiErr) || !apiErr.Code.Retryable() || apiErr.HTTPStatus == 0 || attempt >= c.retries {
+			// HTTPStatus == 0 marks an in-band "error" event: the stream
+			// started, so a retry could replay delivered facts. ev is the
+			// terminal error event (if any) with the partial stats.
+			return ev, err
+		}
+		select {
+		case <-time.After(c.backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// streamOnce performs one streaming attempt; see ChaseStream.
+func (c *Client) streamOnce(ctx context.Context, body []byte, onEvent func(api.StreamEvent) error) (*api.StreamEvent, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v2/chase/stream", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, decodeError(resp)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev api.StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil, fmt.Errorf("client: stream ended without a terminal event")
+			}
+			return nil, fmt.Errorf("client: decoding stream: %w", err)
+		}
+		switch ev.Event {
+		case api.StreamDone:
+			return &ev, nil
+		case api.StreamError:
+			if ev.Error != nil {
+				// The event travels back too — it carries the partial
+				// outcome/stats of an aborted run. HTTPStatus stays
+				// zero: the failure arrived in-band on a 200 stream,
+				// not as a transport status.
+				return &ev, ev.Error
+			}
+			return nil, fmt.Errorf("client: stream failed without details")
+		}
+		if onEvent != nil {
+			if err := onEvent(ev); err != nil {
+				return nil, err
+			}
+		}
+	}
 }
 
 // Healthy reports whether the server answers its liveness probe.

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -148,6 +149,152 @@ func TestNonEnvelopeErrorBody(t *testing.T) {
 	}
 	if apiErr.Code != api.CodeUnavailable || apiErr.HTTPStatus != 503 {
 		t.Errorf("got %+v", apiErr)
+	}
+}
+
+// streamServer serves a canned NDJSON event sequence on
+// /v2/chase/stream.
+func streamServer(t *testing.T, events []api.StreamEvent) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/chase/stream" || r.Method != http.MethodPost {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		for _, ev := range events {
+			enc.Encode(ev) //nolint:errcheck
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestChaseStreamDeliversEventsAndDone: the callback sees the non-
+// terminal events in order; the done event is returned, not called
+// back.
+func TestChaseStreamDeliversEventsAndDone(t *testing.T) {
+	srv := streamServer(t, []api.StreamEvent{
+		{Event: api.StreamFacts, Facts: []string{"q(a)", "q(b)"}, Stats: &api.ChaseStats{FactsAdded: 2}},
+		{Event: api.StreamProgress, Stats: &api.ChaseStats{FactsAdded: 2, TriggersApplied: 5}},
+		{Event: api.StreamFacts, Facts: []string{"q(c)"}, Stats: &api.ChaseStats{FactsAdded: 3}},
+		{Event: api.StreamDone, Outcome: "terminated", Stats: &api.ChaseStats{FactsAdded: 3}},
+	})
+	var got []api.StreamEvent
+	done, err := New(srv.URL).ChaseStream(context.Background(), api.AnalyzeRequest{Rules: "p(X) -> q(X)."},
+		func(ev api.StreamEvent) error {
+			got = append(got, ev)
+			return nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done.Outcome != "terminated" || done.Stats == nil || done.Stats.FactsAdded != 3 {
+		t.Errorf("done event %+v", done)
+	}
+	if len(got) != 3 || got[0].Event != api.StreamFacts || got[1].Event != api.StreamProgress {
+		t.Errorf("callback saw %+v", got)
+	}
+	if len(got) > 0 && len(got[0].Facts) != 2 {
+		t.Errorf("first batch %+v", got[0].Facts)
+	}
+}
+
+// TestChaseStreamTerminalErrorIsTyped: an in-band "error" event maps to
+// the same typed *api.Error as an envelope would.
+func TestChaseStreamTerminalErrorIsTyped(t *testing.T) {
+	srv := streamServer(t, []api.StreamEvent{
+		{Event: api.StreamFacts, Facts: []string{"q(a)"}},
+		{Event: api.StreamError, Outcome: "canceled",
+			Stats: &api.ChaseStats{FactsAdded: 1, TriggersApplied: 1},
+			Error: &api.Error{Code: api.CodeTimeout, Message: "per-job timeout expired"}},
+	})
+	ev, err := New(srv.URL).ChaseStream(context.Background(), api.AnalyzeRequest{Rules: "p(X) -> q(X)."}, nil)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeTimeout {
+		t.Fatalf("err %v, want typed timeout", err)
+	}
+	if apiErr.HTTPStatus != 0 {
+		t.Errorf("in-band error carries HTTPStatus %d, want 0 (it traveled on a 200)", apiErr.HTTPStatus)
+	}
+	// The terminal event rides along, so the partial tally of an
+	// aborted run is not lost.
+	if ev == nil || ev.Outcome != "canceled" || ev.Stats == nil || ev.Stats.FactsAdded != 1 {
+		t.Errorf("terminal error event %+v, want the partial outcome/stats", ev)
+	}
+}
+
+// TestChaseStreamPreflightError: a non-2xx before any event decodes the
+// usual envelope.
+func TestChaseStreamPreflightError(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		envelope(w, api.CodeBadRequest, "unparsable rules")
+	}))
+	defer srv.Close()
+	_, err := New(srv.URL).ChaseStream(context.Background(), api.AnalyzeRequest{Rules: "nope"}, nil)
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) || apiErr.Code != api.CodeBadRequest || apiErr.HTTPStatus != 400 {
+		t.Fatalf("err %v, want typed bad_request with status 400", err)
+	}
+}
+
+// TestChaseStreamCallbackErrorStopsReading: the consumer can bail out
+// mid-stream; its error comes back verbatim.
+func TestChaseStreamCallbackErrorStopsReading(t *testing.T) {
+	srv := streamServer(t, []api.StreamEvent{
+		{Event: api.StreamFacts, Facts: []string{"q(a)"}},
+		{Event: api.StreamFacts, Facts: []string{"q(b)"}},
+		{Event: api.StreamDone, Outcome: "terminated"},
+	})
+	stop := errors.New("seen enough")
+	calls := 0
+	_, err := New(srv.URL).ChaseStream(context.Background(), api.AnalyzeRequest{Rules: "p(X) -> q(X)."},
+		func(api.StreamEvent) error {
+			calls++
+			return stop
+		})
+	if !errors.Is(err, stop) {
+		t.Fatalf("err %v, want the callback's error", err)
+	}
+	if calls != 1 {
+		t.Errorf("callback ran %d times after asking to stop", calls)
+	}
+}
+
+// TestChaseStreamTruncatedStream: a stream that ends without a terminal
+// event is a failure, not a silent success.
+func TestChaseStreamTruncatedStream(t *testing.T) {
+	srv := streamServer(t, []api.StreamEvent{
+		{Event: api.StreamFacts, Facts: []string{"q(a)"}},
+	})
+	_, err := New(srv.URL).ChaseStream(context.Background(), api.AnalyzeRequest{Rules: "p(X) -> q(X)."}, nil)
+	if err == nil || !strings.Contains(err.Error(), "terminal") {
+		t.Fatalf("err %v, want a missing-terminal-event failure", err)
+	}
+}
+
+// TestChaseStreamRetriesPreflight503: an "unavailable" answered before
+// the stream starts is retried like any other request; once events have
+// flowed it never is (exercised implicitly: the terminal-error test
+// above makes exactly one attempt).
+func TestChaseStreamRetriesPreflight503(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			envelope(w, api.CodeUnavailable, "draining")
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.Encode(api.StreamEvent{Event: api.StreamDone, Outcome: "terminated"}) //nolint:errcheck
+	}))
+	defer srv.Close()
+	done, err := New(srv.URL, WithRetries(2), WithRetryBackoff(time.Millisecond)).
+		ChaseStream(context.Background(), api.AnalyzeRequest{Rules: "p(X) -> q(X)."}, nil)
+	if err != nil || done.Outcome != "terminated" {
+		t.Fatalf("after retry: done=%+v err=%v", done, err)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("made %d attempts, want 2", calls.Load())
 	}
 }
 

@@ -88,6 +88,28 @@ func TestClientAgainstRealService(t *testing.T) {
 		t.Fatalf("budget exhaustion: err %v, want typed unprocessable", err)
 	}
 
+	// Streaming end-to-end: the same chase consumed incrementally must
+	// deliver exactly the derived facts, then the done event.
+	var streamed []string
+	done, err := c.ChaseStream(ctx, api.AnalyzeRequest{
+		Rules:    "professor(X) -> teaches(X,C). teaches(X,C) -> course(C).",
+		Database: "professor(turing).",
+		Variant:  "r",
+	}, func(ev api.StreamEvent) error {
+		streamed = append(streamed, ev.Facts...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("chase stream: %v", err)
+	}
+	if done.Outcome != "terminated" || done.Stats == nil {
+		t.Fatalf("stream done event: %+v", done)
+	}
+	if len(streamed) != done.Stats.FactsAdded || len(streamed) != resp.Chase.Stats.FactsAdded {
+		t.Errorf("streamed %d facts; done reports %d, one-shot chase derived %d",
+			len(streamed), done.Stats.FactsAdded, resp.Chase.Stats.FactsAdded)
+	}
+
 	// Batch through the client: ordered results, inline per-job errors.
 	results, err := c.Batch(ctx, []api.AnalyzeRequest{
 		{Kind: api.KindClassify, Rules: "p(X) -> q(X)."},

@@ -2,11 +2,14 @@
 //
 // Usage:
 //
-//	chase [-variant o|so|r] [-max-triggers N] [-max-facts N] [-print] rules.dl db.dl
+//	chase [-variant o|so|r] [-max-triggers N] [-max-facts N] [-print] [-stream] rules.dl db.dl
 //
 // Files use the Datalog± syntax of the library: `body -> head.` rules with
 // upper-case variables, and ground facts `p(a,b).`. The tool prints run
-// statistics and, with -print, the final instance.
+// statistics and, with -print, the final instance. With -stream, derived
+// facts are printed incrementally as the run produces them — useful for
+// watching a long chase make progress, and for piping a huge instance
+// without holding it rendered in memory twice.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 	maxTriggers := flag.Int("max-triggers", 100000, "trigger budget (0 = default)")
 	maxFacts := flag.Int("max-facts", 100000, "fact budget (0 = default)")
 	printFacts := flag.Bool("print", false, "print the final instance")
+	stream := flag.Bool("stream", false, "print derived facts incrementally as the run produces them")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chase [flags] rules.dl db.dl\n")
 		flag.PrintDefaults()
@@ -43,7 +47,7 @@ func main() {
 	// Ctrl-C force-kills even while -print renders a huge partial
 	// instance.
 	go func() { <-ctx.Done(); stop() }()
-	if err := run(ctx, *variant, flag.Arg(0), flag.Arg(1), *maxTriggers, *maxFacts, *printFacts); err != nil {
+	if err := run(ctx, *variant, flag.Arg(0), flag.Arg(1), *maxTriggers, *maxFacts, *printFacts, *stream); err != nil {
 		if errors.Is(err, context.Canceled) {
 			// Partial stats were already printed; exit with the
 			// conventional interrupted status so wrappers stop too.
@@ -54,7 +58,19 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, printFacts bool) error {
+// printSink streams derived facts to stdout as the engine produces
+// them (the -stream flag).
+type printSink struct{}
+
+func (printSink) EmitFacts(facts []string, _ chaseterm.ChaseStats) {
+	for _, f := range facts {
+		fmt.Println(f + ".")
+	}
+}
+
+func (printSink) Progress(chaseterm.ChaseStats) {}
+
+func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, printFacts, stream bool) error {
 	v, err := chaseterm.ParseVariant(variantName)
 	if err != nil {
 		return err
@@ -77,14 +93,19 @@ func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers
 	}
 	fmt.Printf("rules: %d (%s), database: %d facts, variant: %s\n",
 		rules.NumRules(), rules.Classify(), db.Size(), v)
-	var analyzer chaseterm.Analyzer
-	rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules,
+	opts := []chaseterm.RequestOption{
 		chaseterm.WithDatabase(db),
 		chaseterm.WithVariant(v),
 		chaseterm.WithChaseBudgets(chaseterm.ChaseOptions{
 			MaxTriggers: maxTriggers,
 			MaxFacts:    maxFacts,
-		})))
+		}),
+	}
+	if stream {
+		opts = append(opts, chaseterm.WithChaseSink(printSink{}))
+	}
+	var analyzer chaseterm.Analyzer
+	rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules, opts...))
 	if rep == nil {
 		return err
 	}

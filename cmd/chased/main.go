@@ -9,10 +9,12 @@
 //
 // Endpoints — the versioned contract (package api; kind in the body):
 //
-//	POST /v2/analyze   {"kind": "classify|decide|chase|acyclicity", "rules": "...", ...}
-//	POST /v2/batch     {"jobs": [...]}                      fan a job list across the pool
+//	POST /v2/analyze       {"kind": "classify|decide|chase|acyclicity", "rules": "...", ...}
+//	POST /v2/batch         {"jobs": [...]}                  fan a job list across the pool
+//	POST /v2/chase/stream  {"rules": "...", ...}            NDJSON chase stream; closing the
+//	                                                        connection aborts the run
 //	GET  /healthz                                           liveness
-//	GET  /v1/stats                                          cache + latency counters
+//	GET  /v1/stats                                          cache + latency + stream counters
 //
 // and the v1 compatibility shims (flat bodies, kind implied by route):
 //

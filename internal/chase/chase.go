@@ -224,6 +224,26 @@ type Result struct {
 	Sequence []AppliedTrigger
 }
 
+// StreamSink observes a run incrementally; see RunStreamContext. Both
+// callbacks run synchronously on the chase goroutine, so an
+// implementation may read the engine's instance during the call (e.g.
+// render the facts of the reported range) but must not retain
+// references across calls and must not mutate the instance.
+type StreamSink interface {
+	// EmitFacts reports that one trigger application appended the facts
+	// [lo, hi) to the instance. Ranges are contiguous and strictly
+	// increasing: successive calls tile the derived suffix of the
+	// instance exactly once, so a consumer streaming the run sees every
+	// derived fact once and in derivation order. stats is the running
+	// total after the application.
+	EmitFacts(lo, hi instance.FactID, stats Stats)
+	// Progress is a liveness heartbeat, delivered every ~ctxCheckInterval
+	// scheduler steps even when no facts are being derived — e.g. a
+	// restricted chase skipping a long run of already-satisfied
+	// triggers.
+	Progress(stats Stats)
+}
+
 type headSlotKind uint8
 
 const (
@@ -301,6 +321,10 @@ type Engine struct {
 	offerFn    func([]instance.TermID) bool
 	curRule    int
 	cyclicSeen bool
+	// sink, when non-nil, receives the derived facts incrementally (see
+	// RunStreamContext). The hot loop pays one nil check per applied
+	// trigger when unset, preserving the zero-allocation steady state.
+	sink StreamSink
 }
 
 // push schedules a trigger according to the configured order.
@@ -543,6 +567,18 @@ func (e *Engine) Run() (*Result, error) {
 	return e.RunContext(context.Background())
 }
 
+// RunStreamContext is RunContext with incremental fact delivery: sink
+// observes every batch of derived facts at trigger-application
+// granularity, plus periodic progress heartbeats. A nil sink is exactly
+// RunContext. Cancellation semantics are unchanged — on a canceled
+// context the facts emitted so far remain valid and the partial result
+// is returned with ctx.Err().
+func (e *Engine) RunStreamContext(ctx context.Context, sink StreamSink) (*Result, error) {
+	e.sink = sink
+	defer func() { e.sink = nil }()
+	return e.RunContext(ctx)
+}
+
 // RunContext is Run with cooperative cancellation: the context is polled
 // before seeding each rule and every ctxCheckInterval trigger
 // applications. When it fires, the partial result — Outcome Canceled,
@@ -568,9 +604,14 @@ func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	// applying any, and each satisfaction check is real work too.
 loop:
 	for {
-		if steps%ctxCheckInterval == 0 && canceled(done) {
-			outcome = Canceled
-			break loop
+		if steps%ctxCheckInterval == 0 {
+			if canceled(done) {
+				outcome = Canceled
+				break loop
+			}
+			if e.sink != nil {
+				e.sink.Progress(e.stats)
+			}
 		}
 		steps++
 		if e.stats.TriggersApplied >= e.opt.MaxTriggers || e.in.Size() >= e.opt.MaxFacts {
@@ -599,6 +640,12 @@ loop:
 		}
 		if maxDepth > e.stats.MaxTermDepth {
 			e.stats.MaxTermDepth = maxDepth
+		}
+		if e.sink != nil && added > 0 {
+			// Facts are append-only, so the facts of this application are
+			// exactly the trailing [size-added, size) range.
+			hi := instance.FactID(e.in.Size())
+			e.sink.EmitFacts(hi-instance.FactID(added), hi, e.stats)
 		}
 		if maxDepth > e.opt.MaxDepth {
 			outcome = DepthExceeded

@@ -1,0 +1,148 @@
+package chase
+
+import (
+	"context"
+	"testing"
+
+	"chaseterm/internal/instance"
+	"chaseterm/internal/parse"
+)
+
+// collectSink records every emitted range and heartbeat.
+type collectSink struct {
+	ranges    [][2]instance.FactID
+	progress  int
+	lastStats Stats
+	onFacts   func() // optional hook, called after recording a range
+}
+
+func (s *collectSink) EmitFacts(lo, hi instance.FactID, stats Stats) {
+	s.ranges = append(s.ranges, [2]instance.FactID{lo, hi})
+	s.lastStats = stats
+	if s.onFacts != nil {
+		s.onFacts()
+	}
+}
+
+func (s *collectSink) Progress(stats Stats) {
+	s.progress++
+	s.lastStats = stats
+}
+
+// TestRunStreamEmitsEveryDerivedFactOnce: the emitted ranges must tile
+// the derived suffix of the instance exactly — contiguous, increasing,
+// no overlap, no gap.
+func TestRunStreamEmitsEveryDerivedFactOnce(t *testing.T) {
+	rules := parse.MustParseRules("e(X,Y) -> r(X,Y).\nr(X,Y) -> s(Y,X).")
+	in, err := instance.FromAtoms(chainDB(50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := in.Size()
+	e, err := NewEngine(in, rules, SemiOblivious, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectSink{}
+	res, err := e.RunStreamContext(context.Background(), sink)
+	if err != nil || res.Outcome != Terminated {
+		t.Fatalf("run: %v %v", res, err)
+	}
+	if res.Stats.FactsAdded == 0 {
+		t.Fatal("nothing derived")
+	}
+	next := instance.FactID(initial)
+	for _, r := range sink.ranges {
+		if r[0] != next {
+			t.Fatalf("range starts at %d, want %d (gap or overlap)", r[0], next)
+		}
+		if r[1] <= r[0] {
+			t.Fatalf("empty or inverted range %v", r)
+		}
+		next = r[1]
+	}
+	if int(next) != in.Size() {
+		t.Errorf("ranges cover up to %d, instance has %d facts", next, in.Size())
+	}
+	if got := int(next) - initial; got != res.Stats.FactsAdded {
+		t.Errorf("streamed %d facts, stats say %d", got, res.Stats.FactsAdded)
+	}
+	if sink.lastStats.FactsAdded != res.Stats.FactsAdded {
+		t.Errorf("last emitted stats %+v lag the final %+v", sink.lastStats, res.Stats)
+	}
+}
+
+// TestRunStreamProgressHeartbeat: a run long enough to cross the
+// context-check interval must deliver at least one heartbeat.
+func TestRunStreamProgressHeartbeat(t *testing.T) {
+	rules := parse.MustParseRules("e(X,Y) -> r(X,Y).")
+	in, err := instance.FromAtoms(chainDB(3 * ctxCheckInterval))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(in, rules, SemiOblivious, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &collectSink{}
+	res, err := e.RunStreamContext(context.Background(), sink)
+	if err != nil || res.Outcome != Terminated {
+		t.Fatalf("run: %v %v", res, err)
+	}
+	if sink.progress == 0 {
+		t.Error("no progress heartbeat on a multi-interval run")
+	}
+}
+
+// TestRunStreamNilSinkIsRunContext: a nil sink must behave exactly like
+// the plain entry point.
+func TestRunStreamNilSinkIsRunContext(t *testing.T) {
+	rules := parse.MustParseRules("e(X,Y) -> r(X,Y).")
+	in, err := instance.FromAtoms(chainDB(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(in, rules, SemiOblivious, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunStreamContext(context.Background(), nil)
+	if err != nil || res.Outcome != Terminated {
+		t.Fatalf("run: %v %v", res, err)
+	}
+}
+
+// TestRunStreamCancelMidRun: canceling from inside the sink stops the
+// run at the next context poll; the facts emitted so far stay valid.
+func TestRunStreamCancelMidRun(t *testing.T) {
+	// Example 1 over its critical-ish database: diverges up to the
+	// budget, so only cancellation can end the run early.
+	rules := parse.MustParseRules("person(X) -> hasFather(X,Y), person(Y).")
+	in, err := instance.FromAtoms(parse.MustParseFacts("person(bob)."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(in, rules, SemiOblivious, Options{MaxTriggers: 1 << 20, MaxFacts: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &collectSink{}
+	sink.onFacts = func() {
+		if len(sink.ranges) == 3 {
+			cancel()
+		}
+	}
+	res, err := e.RunStreamContext(ctx, sink)
+	if err == nil || res == nil {
+		t.Fatalf("expected cancellation, got res=%v err=%v", res, err)
+	}
+	if res.Outcome != Canceled {
+		t.Fatalf("outcome %v, want Canceled", res.Outcome)
+	}
+	// The engine stops within one check interval of the cancel.
+	if res.Stats.TriggersApplied > 3+ctxCheckInterval {
+		t.Errorf("run kept going for %d triggers after cancellation", res.Stats.TriggersApplied-3)
+	}
+}

@@ -3,6 +3,7 @@ package service
 import (
 	"container/list"
 	"context"
+	"fmt"
 	"sync"
 )
 
@@ -72,15 +73,29 @@ func (c *verdictCache) Do(ctx context.Context, key string, fn func() (any, error
 	c.inflight[key] = f
 	c.mu.Unlock()
 
+	// The leader's bookkeeping runs under a defer: if fn panics, the
+	// inflight entry must still be removed and done must still close,
+	// otherwise every later request for this key would join a flight no
+	// one will ever finish and block forever. The waiters are failed
+	// with an error describing the panic, and the panic is re-propagated
+	// to the leader's own stack.
+	defer func() {
+		r := recover()
+		if r != nil {
+			f.err = fmt.Errorf("service: cached computation panicked: %v", r)
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if r == nil && f.err == nil {
+			c.store(key, f.val)
+		}
+		c.mu.Unlock()
+		close(f.done)
+		if r != nil {
+			panic(r)
+		}
+	}()
 	f.val, f.err = fn()
-
-	c.mu.Lock()
-	delete(c.inflight, key)
-	if f.err == nil {
-		c.store(key, f.val)
-	}
-	c.mu.Unlock()
-	close(f.done)
 	return f.val, false, f.err
 }
 

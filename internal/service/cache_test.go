@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -120,6 +121,72 @@ func TestCacheWaiterHonorsContext(t *testing.T) {
 	_, _, err := c.Do(ctx, "k", func() (any, error) { return 2, nil })
 	if !errors.Is(err, context.DeadlineExceeded) {
 		t.Fatalf("waiter got %v, want deadline exceeded", err)
+	}
+}
+
+// TestCachePanicFailsWaitersAndRepropagates is the regression test for
+// the inflight leak: a panicking leader used to leave its flight entry
+// behind with done never closed, so every later request for the key
+// blocked forever. The leader must re-panic, the waiter must get an
+// error (not a hang), and the key must be computable again afterwards.
+func TestCachePanicFailsWaitersAndRepropagates(t *testing.T) {
+	c := newVerdictCache(8)
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	leaderPanicked := make(chan any, 1)
+	go func() {
+		defer func() { leaderPanicked <- recover() }()
+		c.Do(context.Background(), "k", func() (any, error) { //nolint:errcheck
+			close(entered)
+			<-release
+			panic("decider exploded")
+		})
+	}()
+
+	<-entered
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, hit, err := c.Do(context.Background(), "k", func() (any, error) { return -1, nil })
+		if hit {
+			err = errors.New("waiter reported a hit on a panicked flight")
+		}
+		waiterErr <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let the waiter join the flight
+	close(release)
+
+	select {
+	case r := <-leaderPanicked:
+		if r == nil || !strings.Contains(fmt.Sprint(r), "decider exploded") {
+			t.Fatalf("leader panic not re-propagated: %v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("leader did not return")
+	}
+	select {
+	case err := <-waiterErr:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("waiter got %v, want a panic-describing error", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter deadlocked on the panicked flight")
+	}
+
+	// The key is healthy again: the inflight entry is gone and nothing
+	// poisoned was stored.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		v, hit, err := c.Do(context.Background(), "k", func() (any, error) { return 7, nil })
+		if err != nil || hit || v.(int) != 7 {
+			t.Errorf("recompute after panic: got (%v, hit=%v, err=%v)", v, hit, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("key still blocked after the panicked flight")
 	}
 }
 

@@ -18,8 +18,9 @@ const maxBodyBytes = 8 << 20
 //
 // The versioned contract (package api, kind in the body):
 //
-//	POST /v2/analyze   api.AnalyzeRequest  → api.AnalyzeResponse
-//	POST /v2/batch     api.BatchRequest    → api.BatchResponse
+//	POST /v2/analyze       api.AnalyzeRequest  → api.AnalyzeResponse
+//	POST /v2/batch         api.BatchRequest    → api.BatchResponse
+//	POST /v2/chase/stream  api.AnalyzeRequest  → NDJSON api.StreamEvents
 //
 // The v1 compatibility shims (flat bodies, kind implied by the route):
 //
@@ -67,6 +68,41 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, api.BatchResponse{Results: results})
+	})
+
+	mux.HandleFunc("POST /v2/chase/stream", func(w http.ResponseWriter, r *http.Request) {
+		var req api.AnalyzeRequest
+		if apiErr := decodeStrict(w, r, &req); apiErr != nil {
+			writeV2Error(w, apiErr)
+			return
+		}
+		flusher, ok := w.(http.Flusher)
+		if !ok {
+			writeV2Error(w, &api.Error{Code: api.CodeInternal, Message: "transport does not support streaming"})
+			return
+		}
+		// emit is called synchronously from the producing job (the
+		// handler goroutine blocks in ChaseStream until the producer has
+		// fully finished, so the ResponseWriter is never written
+		// concurrently). Each event is one NDJSON line, flushed
+		// immediately so facts reach the client as they are derived.
+		enc := json.NewEncoder(w)
+		started := false
+		emit := func(ev api.StreamEvent) {
+			if !started {
+				started = true
+				w.Header().Set("Content-Type", "application/x-ndjson")
+				w.WriteHeader(http.StatusOK)
+			}
+			enc.Encode(ev) //nolint:errcheck // a failed write means the client is gone; r.Context() aborts the producer
+			flusher.Flush()
+		}
+		// A non-nil error means the stream never started (nothing was
+		// emitted) and the failure is reported at the transport level;
+		// mid-stream failures arrive as terminal "error" events instead.
+		if err := e.ChaseStream(r.Context(), req, emit); err != nil {
+			writeV2Error(w, toAPIError(err))
+		}
 	})
 
 	mux.HandleFunc("POST /v1/classify", jobHandler(e, KindClassify))
@@ -139,10 +175,31 @@ func decodeStrict(w http.ResponseWriter, r *http.Request, dst any) *api.Error {
 		}
 		return &api.Error{Code: api.CodeBadRequest, Message: "malformed request: " + err.Error()}
 	}
-	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+	switch err := dec.Decode(new(json.RawMessage)); {
+	case errors.Is(err, io.EOF):
+		return nil
+	case err == nil, errors.Is(err, io.ErrUnexpectedEOF), isSyntaxError(err):
+		// A second complete value, a truncated one, or non-JSON bytes:
+		// the client really did send data after its body.
 		return &api.Error{Code: api.CodeBadRequest, Message: "malformed request: trailing data after the JSON body"}
+	default:
+		// The probe failed to *read*, not to parse — blaming the client
+		// for trailing data would mislabel the failure. The one expected
+		// cause is the body cap firing on the probe read (the first value
+		// fit, the whole body did not), which is an oversize condition.
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &api.Error{Code: api.CodeTooLarge, Message: "malformed request: " + err.Error()}
+		}
+		return &api.Error{Code: api.CodeBadRequest, Message: "malformed request: reading body: " + err.Error()}
 	}
-	return nil
+}
+
+// isSyntaxError reports whether err is a JSON syntax error — bytes that
+// were read fine but do not parse.
+func isSyntaxError(err error) bool {
+	var syn *json.SyntaxError
+	return errors.As(err, &syn)
 }
 
 // writeV2Error writes the versioned error envelope.

@@ -1,14 +1,18 @@
 package service
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"testing"
+	"time"
 
+	"chaseterm"
 	"chaseterm/api"
 )
 
@@ -200,6 +204,79 @@ func TestDecodeRejectsTrailingGarbage(t *testing.T) {
 	var body map[string]string
 	if err := json.Unmarshal(data, &body); err != nil || body["code"] != string(api.CodeBadRequest) {
 		t.Errorf("v1 error body %s, want code %q", data, api.CodeBadRequest)
+	}
+}
+
+// TestPanickingDecideFuncDoesNotCrashOrDeadlock is the end-to-end
+// regression test for both panic paths at once: a DecideFunc that
+// panics must come back as a 500/"internal" envelope (pool recovery),
+// the server must stay alive, and — critically — a repeat request for
+// the same rule set must fail the same way instead of blocking forever
+// on a leaked singleflight entry (cache cleanup).
+func TestPanickingDecideFuncDoesNotCrashOrDeadlock(t *testing.T) {
+	var calls atomic.Int64
+	srv := newTestServer(t, Options{
+		Workers: 1,
+		DecideFunc: func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
+			calls.Add(1)
+			panic("FindHoms: oversized initial binding")
+		},
+	})
+	client := &http.Client{Timeout: 10 * time.Second}
+	post := func() (*http.Response, []byte) {
+		t.Helper()
+		body, _ := json.Marshal(api.AnalyzeRequest{Kind: api.KindDecide, Rules: example1})
+		resp, err := client.Post(srv.URL+"/v2/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("request failed (server crashed or deadlocked?): %v", err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, data
+	}
+	for i := 0; i < 2; i++ {
+		resp, data := post()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Fatalf("attempt %d: status %d (%s), want 500", i, resp.StatusCode, data)
+		}
+		var env api.ErrorEnvelope
+		if err := json.Unmarshal(data, &env); err != nil || env.Error == nil {
+			t.Fatalf("attempt %d: not an error envelope: %s", i, data)
+		}
+		if env.Error.Code != api.CodeInternal || !strings.Contains(env.Error.Message, "panicked") {
+			t.Errorf("attempt %d: envelope %+v, want internal/panicked", i, env.Error)
+		}
+	}
+	if n := calls.Load(); n != 2 {
+		t.Errorf("decider ran %d times, want 2 (nothing cached, nothing deadlocked)", n)
+	}
+	// The server is still fully functional for healthy work.
+	resp, data := postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{Kind: api.KindClassify, Rules: example1})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy request after panics: status %d (%s)", resp.StatusCode, data)
+	}
+}
+
+// TestDecodeOversizedTrailingMapsTo413: when the first JSON value fits
+// under the body cap but the bytes after it push past it, the failure
+// is an oversize (413 "too_large"), not "trailing data" (400) — the
+// probe read hit MaxBytesReader, it did not find a second value.
+func TestDecodeOversizedTrailingMapsTo413(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	body := `{"kind": "classify", "rules": "p(X) -> q(X)."}` + strings.Repeat(" ", maxBodyBytes)
+	resp, data := postRaw(t, srv.URL+"/v2/analyze", body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status %d (%s), want 413", resp.StatusCode, data)
+	}
+	var env api.ErrorEnvelope
+	if err := json.Unmarshal(data, &env); err != nil || env.Error == nil || env.Error.Code != api.CodeTooLarge {
+		t.Fatalf("body %s, want envelope with code too_large", data)
+	}
+	if strings.Contains(env.Error.Message, "trailing data") {
+		t.Errorf("oversize mislabeled as trailing data: %s", env.Error.Message)
 	}
 }
 

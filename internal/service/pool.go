@@ -3,12 +3,20 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 )
 
 // ErrClosed is returned for work submitted after the pool shut down.
 var ErrClosed = errors.New("service: engine closed")
+
+// ErrPanic wraps a panic recovered from a job function: the analysis
+// crashed, but the worker and the process survive. The HTTP layer maps
+// it to 500 / "internal". (This is reachable from request handling —
+// e.g. the matcher panics on an oversized initial binding — so a bare
+// goroutine here would let one bad request kill the whole server.)
+var ErrPanic = errors.New("service: analysis panicked")
 
 // workerPool bounds the number of decision procedures and chase runs
 // executing at once. Callers block in Do until a worker picks up the
@@ -27,6 +35,9 @@ type poolJob struct {
 	ctx context.Context
 	fn  func(context.Context) (any, error)
 	res chan outcome
+	// sync makes Do wait for fn itself to return, never merely for the
+	// context — see DoSync.
+	sync bool
 }
 
 type outcome struct {
@@ -69,6 +80,10 @@ func (p *workerPool) worker() {
 // chase engine and the deciders poll it at trigger/fixpoint
 // granularity), so after a cancellation the wait lasts at most one
 // check interval rather than the job's full trigger/fact/shape budget.
+//
+// A panic inside the job is recovered in the inner goroutine — the one
+// place it would otherwise escape every handler's stack and kill the
+// process — and surfaced to the caller as an ErrPanic-wrapped error.
 func (p *workerPool) run(j poolJob) {
 	if err := j.ctx.Err(); err != nil {
 		j.res <- outcome{err: err}
@@ -76,9 +91,18 @@ func (p *workerPool) run(j poolJob) {
 	}
 	inner := make(chan outcome, 1)
 	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				inner <- outcome{err: fmt.Errorf("%w: %v", ErrPanic, r)}
+			}
+		}()
 		v, err := j.fn(j.ctx)
 		inner <- outcome{val: v, err: err}
 	}()
+	if j.sync {
+		j.res <- <-inner
+		return
+	}
 	select {
 	case o := <-inner:
 		j.res <- o
@@ -92,7 +116,21 @@ func (p *workerPool) run(j poolJob) {
 // context expires while queued or running, and ErrClosed if the pool
 // shut down before the job was picked up.
 func (p *workerPool) Do(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
-	j := poolJob{ctx: ctx, fn: fn, res: make(chan outcome, 1)}
+	return p.submit(ctx, fn, false)
+}
+
+// DoSync is Do for callers that share state with fn — e.g. the
+// streaming handler, whose fn writes to the caller's own
+// http.ResponseWriter. It returns only after fn itself has returned,
+// never merely because the context expired, so the caller can touch the
+// shared state afterwards without racing a still-running job. The
+// context still bounds the queue wait and cancels fn cooperatively.
+func (p *workerPool) DoSync(ctx context.Context, fn func(context.Context) (any, error)) (any, error) {
+	return p.submit(ctx, fn, true)
+}
+
+func (p *workerPool) submit(ctx context.Context, fn func(context.Context) (any, error), sync bool) (any, error) {
+	j := poolJob{ctx: ctx, fn: fn, res: make(chan outcome, 1), sync: sync}
 	select {
 	case p.jobs <- j:
 	case <-ctx.Done():

@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -106,6 +107,57 @@ func TestPoolTimedOutJobStillOccupiesWorker(t *testing.T) {
 	v, err := p.Do(context.Background(), func(context.Context) (any, error) { return 2, nil })
 	if err != nil || v.(int) != 2 {
 		t.Fatalf("worker never came back: (%v, %v)", v, err)
+	}
+}
+
+// TestPoolRecoversPanickingJob is the regression test for the bare
+// inner goroutine: a panic in a job function used to escape every
+// recover on the handler stacks and kill the whole process. It must
+// instead surface as an ErrPanic-wrapped error, and the worker must
+// survive to run the next job.
+func TestPoolRecoversPanickingJob(t *testing.T) {
+	p := newWorkerPool(1)
+	defer p.Close()
+	for _, submit := range []func(context.Context, func(context.Context) (any, error)) (any, error){
+		p.Do, p.DoSync,
+	} {
+		_, err := submit(context.Background(), func(context.Context) (any, error) {
+			panic("oversized initial binding")
+		})
+		if !errors.Is(err, ErrPanic) {
+			t.Fatalf("got %v, want ErrPanic", err)
+		}
+		if !strings.Contains(err.Error(), "oversized initial binding") {
+			t.Errorf("error %q does not carry the panic value", err)
+		}
+		// The single worker survived the panic.
+		v, err := submit(context.Background(), func(context.Context) (any, error) { return 9, nil })
+		if err != nil || v.(int) != 9 {
+			t.Fatalf("worker did not survive the panic: (%v, %v)", v, err)
+		}
+	}
+}
+
+// TestPoolDoSyncWaitsForFn: DoSync must not return while fn is still
+// running, even when the context has long expired — its callers touch
+// state fn writes to.
+func TestPoolDoSyncWaitsForFn(t *testing.T) {
+	p := newWorkerPool(1)
+	defer p.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	var finished atomic.Bool
+	_, err := p.DoSync(ctx, func(jctx context.Context) (any, error) {
+		<-jctx.Done()
+		time.Sleep(50 * time.Millisecond) // simulate a slow wind-down
+		finished.Store(true)
+		return nil, jctx.Err()
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if !finished.Load() {
+		t.Fatal("DoSync returned before fn finished")
 	}
 }
 

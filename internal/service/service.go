@@ -316,7 +316,11 @@ func (e *Engine) doDecideOnDatabase(ctx context.Context, req api.AnalyzeRequest,
 	return respFromReport(api.KindDecide, val.(*chaseterm.Report), false), nil
 }
 
-func (e *Engine) doChase(ctx context.Context, req api.AnalyzeRequest, rules *chaseterm.RuleSet) (*api.AnalyzeResponse, error) {
+// chaseRequestOptions translates the chase-relevant wire fields —
+// variant, budgets, database — into facade options. Shared by the
+// one-shot (doChase) and streaming (ChaseStream) paths so the two
+// translations cannot drift.
+func chaseRequestOptions(req api.AnalyzeRequest) ([]chaseterm.RequestOption, error) {
 	variant, err := parseVariant(req.Variant)
 	if err != nil {
 		return nil, err
@@ -335,6 +339,14 @@ func (e *Engine) doChase(ctx context.Context, req api.AnalyzeRequest, rules *cha
 			return nil, fmt.Errorf("%w: %v", ErrBadRequest, err)
 		}
 		opts = append(opts, chaseterm.WithDatabase(db))
+	}
+	return opts, nil
+}
+
+func (e *Engine) doChase(ctx context.Context, req api.AnalyzeRequest, rules *chaseterm.RuleSet) (*api.AnalyzeResponse, error) {
+	opts, err := chaseRequestOptions(req)
+	if err != nil {
+		return nil, err
 	}
 	if req.ReturnFacts {
 		// Rendering millions of facts is real work; WithFacts makes the
@@ -415,19 +427,24 @@ func apiDecision(v *chaseterm.Verdict) *api.Decision {
 func apiChaseRun(res *chaseterm.ChaseResult, includeFacts bool) *api.ChaseRun {
 	out := &api.ChaseRun{
 		Outcome: res.Outcome.String(),
-		Stats: api.ChaseStats{
-			InitialFacts:      res.Stats.InitialFacts,
-			FactsAdded:        res.Stats.FactsAdded,
-			TriggersApplied:   res.Stats.TriggersApplied,
-			TriggersNoop:      res.Stats.TriggersNoop,
-			TriggersSatisfied: res.Stats.TriggersSatisfied,
-			MaxTermDepth:      res.Stats.MaxTermDepth,
-		},
+		Stats:   *apiChaseStats(res.Stats),
 	}
 	if includeFacts {
 		out.Facts = res.Facts()
 	}
 	return out
+}
+
+// apiChaseStats converts run statistics to their wire form.
+func apiChaseStats(s chaseterm.ChaseStats) *api.ChaseStats {
+	return &api.ChaseStats{
+		InitialFacts:      s.InitialFacts,
+		FactsAdded:        s.FactsAdded,
+		TriggersApplied:   s.TriggersApplied,
+		TriggersNoop:      s.TriggersNoop,
+		TriggersSatisfied: s.TriggersSatisfied,
+		MaxTermDepth:      s.MaxTermDepth,
+	}
 }
 
 // apiAcyclicity converts an acyclicity report to its wire form.
@@ -458,6 +475,8 @@ func toAPIError(err error) *api.Error {
 		code = api.CodeCanceled
 	case errors.Is(err, ErrClosed):
 		code = api.CodeUnavailable
+	case errors.Is(err, ErrPanic):
+		code = api.CodeInternal
 	}
 	return &api.Error{Code: code, Message: err.Error()}
 }
@@ -485,15 +504,16 @@ func checkBudgets(req api.AnalyzeRequest) error {
 }
 
 // wrapExecErr classifies an execution failure: transport conditions
-// (timeouts, shutdown) and request mistakes pass through; everything
-// else came out of an analysis that ran and gave up, which is the
-// instance's fault, not the server's.
+// (timeouts, shutdown), request mistakes, and recovered panics pass
+// through; everything else came out of an analysis that ran and gave
+// up, which is the instance's fault, not the server's.
 func wrapExecErr(err error) error {
 	if err == nil ||
 		errors.Is(err, context.DeadlineExceeded) ||
 		errors.Is(err, context.Canceled) ||
 		errors.Is(err, ErrClosed) ||
-		errors.Is(err, ErrBadRequest) {
+		errors.Is(err, ErrBadRequest) ||
+		errors.Is(err, ErrPanic) {
 		return err
 	}
 	return fmt.Errorf("%w: %v", ErrUnprocessable, err)

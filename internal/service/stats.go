@@ -20,6 +20,10 @@ type Stats struct {
 	jobsFailed  atomic.Int64
 	inFlight    atomic.Int64
 
+	streams        atomic.Int64
+	streamsAborted atomic.Int64
+	streamFacts    atomic.Int64
+
 	lat latencyWindow
 }
 
@@ -40,6 +44,13 @@ type Snapshot struct {
 	JobsFailed    int64   `json:"jobsFailed"`
 	P50Millis     float64 `json:"p50Millis"`
 	P99Millis     float64 `json:"p99Millis"`
+
+	// Streams counts chase-stream requests that entered the engine;
+	// StreamsAborted the subset canceled mid-run (client disconnects);
+	// StreamFacts the facts delivered across all stream batches.
+	Streams        int64 `json:"streams"`
+	StreamsAborted int64 `json:"streamsAborted"`
+	StreamFacts    int64 `json:"streamFacts"`
 
 	Runtime RuntimeStats `json:"runtime"`
 }
@@ -169,19 +180,35 @@ func (s *Stats) CacheHits() int64 { return s.cacheHits.Load() }
 // decision.
 func (s *Stats) CacheMisses() int64 { return s.cacheMisses.Load() }
 
+// Streams returns the number of chase-stream requests that entered the
+// engine.
+func (s *Stats) Streams() int64 { return s.streams.Load() }
+
+// StreamsAborted returns the number of streams whose producing chase
+// run was canceled mid-flight — in the served system, a client that
+// disconnected before the run finished.
+func (s *Stats) StreamsAborted() int64 { return s.streamsAborted.Load() }
+
+// StreamFacts returns the total number of facts delivered across all
+// stream batches.
+func (s *Stats) StreamFacts() int64 { return s.streamFacts.Load() }
+
 func (s *Stats) snapshot(cacheEntries int) Snapshot {
 	p50, p99 := s.lat.quantiles()
 	uptime := time.Since(s.start)
 	return Snapshot{
-		UptimeSeconds: uptime.Seconds(),
-		Runtime:       readRuntimeStats(uptime),
-		CacheHits:     s.cacheHits.Load(),
-		CacheMisses:   s.cacheMisses.Load(),
-		CacheEntries:  cacheEntries,
-		InFlight:      s.inFlight.Load(),
-		JobsServed:    s.jobsServed.Load(),
-		JobsFailed:    s.jobsFailed.Load(),
-		P50Millis:     float64(p50) / float64(time.Millisecond),
-		P99Millis:     float64(p99) / float64(time.Millisecond),
+		UptimeSeconds:  uptime.Seconds(),
+		Runtime:        readRuntimeStats(uptime),
+		CacheHits:      s.cacheHits.Load(),
+		CacheMisses:    s.cacheMisses.Load(),
+		CacheEntries:   cacheEntries,
+		InFlight:       s.inFlight.Load(),
+		JobsServed:     s.jobsServed.Load(),
+		JobsFailed:     s.jobsFailed.Load(),
+		P50Millis:      float64(p50) / float64(time.Millisecond),
+		P99Millis:      float64(p99) / float64(time.Millisecond),
+		Streams:        s.streams.Load(),
+		StreamsAborted: s.streamsAborted.Load(),
+		StreamFacts:    s.streamFacts.Load(),
 	}
 }

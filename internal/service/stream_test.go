@@ -1,0 +1,256 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"chaseterm/api"
+)
+
+// streamEvents posts a chase-stream request and decodes every NDJSON
+// event until the stream ends.
+func streamEvents(t *testing.T, url string, req api.AnalyzeRequest) []api.StreamEvent {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v2/chase/stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	var events []api.StreamEvent
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev api.StreamEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				return events
+			}
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+}
+
+// TestStreamEndpointHappyPath: the acceptance check of the streaming
+// subsystem — a terminating chase arrives as ≥1 facts event, every
+// derived fact exactly once, closed by a single done event whose stats
+// match the fact count.
+func TestStreamEndpointHappyPath(t *testing.T) {
+	eng := New(Options{Workers: 2})
+	t.Cleanup(eng.Close)
+	srv := httptest.NewServer(NewHandler(eng))
+	t.Cleanup(srv.Close)
+
+	events := streamEvents(t, srv.URL, api.AnalyzeRequest{
+		Rules:    "professor(X) -> teaches(X,C). teaches(X,C) -> course(C).",
+		Database: "professor(turing). professor(church).",
+		Variant:  "r",
+	})
+	if len(events) < 2 {
+		t.Fatalf("got %d events, want facts + done", len(events))
+	}
+	last := events[len(events)-1]
+	if last.Event != api.StreamDone || last.Outcome != "terminated" || last.Stats == nil {
+		t.Fatalf("terminal event %+v", last)
+	}
+	var facts []string
+	for _, ev := range events[:len(events)-1] {
+		if ev.Event.Terminal() {
+			t.Fatalf("terminal event %q before the end of the stream", ev.Event)
+		}
+		if ev.Event == api.StreamFacts {
+			if len(ev.Facts) == 0 {
+				t.Error("facts event with no facts")
+			}
+			facts = append(facts, ev.Facts...)
+		}
+	}
+	if len(facts) != last.Stats.FactsAdded {
+		t.Errorf("streamed %d facts, done event reports %d", len(facts), last.Stats.FactsAdded)
+	}
+	seen := map[string]bool{}
+	for _, f := range facts {
+		if seen[f] {
+			t.Errorf("fact %q streamed twice", f)
+		}
+		seen[f] = true
+	}
+	// Content check: the restricted chase of this database derives one
+	// teaches-fact per professor and the corresponding course-facts,
+	// rendered in the surface syntax with z-nulls.
+	for _, want := range []string{"teaches(turing,z1)", "teaches(church,z2)", "course(z1)", "course(z2)"} {
+		if !seen[want] {
+			t.Errorf("derived fact %q missing from the stream: %v", want, facts)
+		}
+	}
+
+	snap := eng.StatsSnapshot()
+	if snap.Streams != 1 || snap.StreamsAborted != 0 || snap.StreamFacts != int64(len(facts)) {
+		t.Errorf("stream counters %d/%d/%d, want 1/0/%d",
+			snap.Streams, snap.StreamsAborted, snap.StreamFacts, len(facts))
+	}
+}
+
+// TestStreamClientDisconnectAbortsRun is the cancel-on-disconnect
+// acceptance check: killing the connection mid-stream must abort the
+// producing chase run (observed via the engine's StreamsAborted
+// counter) long before its multi-million-fact budget — i.e. within one
+// cancellation-check interval plus scheduling slack.
+func TestStreamClientDisconnectAbortsRun(t *testing.T) {
+	eng := New(Options{Workers: 1, JobTimeout: time.Minute})
+	t.Cleanup(eng.Close)
+	srv := httptest.NewServer(NewHandler(eng))
+	t.Cleanup(srv.Close)
+
+	// Example 1 diverges; without the disconnect the run would grind
+	// through 9M facts against a single worker.
+	body, _ := json.Marshal(api.AnalyzeRequest{
+		Rules:       example1,
+		Database:    "person(bob).",
+		MaxFacts:    9_000_000,
+		MaxTriggers: 9_000_000,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v2/chase/stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	// Read one event so the stream is demonstrably live, then vanish.
+	br := bufio.NewReader(resp.Body)
+	if _, err := br.ReadString('\n'); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for eng.Stats().StreamsAborted() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("producer not aborted within 10s of the disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// The aborted producer must also have released its worker slot: a
+	// fresh (non-streaming) job on the 1-worker pool completes.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if _, err := eng.Analyze(ctx2, api.AnalyzeRequest{Kind: api.KindClassify, Rules: example1}); err != nil {
+		t.Fatalf("worker slot not released after the aborted stream: %v", err)
+	}
+}
+
+// TestStreamPreflightErrors: failures before the first event are plain
+// HTTP errors with the usual envelope, never a 200 stream.
+func TestStreamPreflightErrors(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	cases := []struct {
+		name     string
+		body     string
+		wantCode api.Code
+		wantHTTP int
+	}{
+		{"bad rules", `{"rules": "nope nope"}`, api.CodeBadRequest, 400},
+		{"wrong kind", `{"kind": "decide", "rules": "p(X) -> q(X)."}`, api.CodeBadRequest, 400},
+		{"bad variant", `{"rules": "p(X) -> q(X).", "variant": "zzz"}`, api.CodeBadRequest, 400},
+		{"bad database", `{"rules": "p(X) -> q(X).", "database": "p(X)."}`, api.CodeBadRequest, 400},
+		{"budget range", `{"rules": "p(X) -> q(X).", "maxFacts": -1}`, api.CodeBadRequest, 400},
+		{"withAcyclicity unsupported", `{"rules": "p(X) -> q(X).", "withAcyclicity": true}`, api.CodeBadRequest, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, data := postRaw(t, srv.URL+"/v2/chase/stream", tc.body)
+			if resp.StatusCode != tc.wantHTTP {
+				t.Fatalf("status %d (%s), want %d", resp.StatusCode, data, tc.wantHTTP)
+			}
+			var env api.ErrorEnvelope
+			if err := json.Unmarshal(data, &env); err != nil || env.Error == nil || env.Error.Code != tc.wantCode {
+				t.Fatalf("body %s, want envelope with code %s", data, tc.wantCode)
+			}
+		})
+	}
+	// An explicit matching kind is accepted.
+	events := streamEvents(t, srv.URL, api.AnalyzeRequest{
+		Kind:     api.KindChase,
+		Rules:    "p(X) -> q(X).",
+		Database: "p(a).",
+	})
+	if len(events) == 0 || !events[len(events)-1].Event.Terminal() {
+		t.Fatalf("explicit chase kind rejected: %+v", events)
+	}
+}
+
+// TestStreamConcurrentClients drives several streams at once while a
+// reader hammers the stats endpoint — under -race this is the
+// engine→HTTP sink handoff check: the producer goroutine writes each
+// response while its handler blocks, with no unsynchronized sharing.
+func TestStreamConcurrentClients(t *testing.T) {
+	eng := New(Options{Workers: 4})
+	t.Cleanup(eng.Close)
+	srv := httptest.NewServer(NewHandler(eng))
+	t.Cleanup(srv.Close)
+
+	stop := make(chan struct{})
+	var statsWG sync.WaitGroup
+	statsWG.Add(1)
+	go func() {
+		defer statsWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			resp, err := http.Get(srv.URL + "/v1/stats")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body) //nolint:errcheck
+				resp.Body.Close()
+			}
+		}
+	}()
+
+	const clients = 6
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			events := streamEvents(t, srv.URL, api.AnalyzeRequest{
+				Rules:    "e(X,Y) -> r(X,Y). r(X,Y) -> s(Y,X).",
+				Database: strings.Repeat("e(a,b). e(b,c). e(c,d). ", 1),
+			})
+			if len(events) == 0 || events[len(events)-1].Event != api.StreamDone {
+				t.Errorf("stream did not finish cleanly: %+v", events)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	statsWG.Wait()
+	if got := eng.Stats().Streams(); got != clients {
+		t.Errorf("streams counter %d, want %d", got, clients)
+	}
+}

@@ -1,0 +1,97 @@
+package chaseterm
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// recordingSink collects batches and heartbeats delivered by
+// WithChaseSink, copying the (reused) batch slices.
+type recordingSink struct {
+	batches  [][]string
+	progress int
+	last     ChaseStats
+}
+
+func (s *recordingSink) EmitFacts(facts []string, stats ChaseStats) {
+	s.batches = append(s.batches, append([]string(nil), facts...))
+	s.last = stats
+}
+
+func (s *recordingSink) Progress(stats ChaseStats) {
+	s.progress++
+	s.last = stats
+}
+
+// TestAnalyzeChaseStreamsEveryFact: the concatenated batches must equal
+// the derived portion of the final instance — every derived fact exactly
+// once, none of the initial database.
+func TestAnalyzeChaseStreamsEveryFact(t *testing.T) {
+	var facts strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&facts, "e(a%d,a%d).\n", i, i+1)
+	}
+	rules := MustParseRules("e(X,Y) -> r(X,Y).\nr(X,Y) -> s(Y,X).")
+	db := MustParseDatabase(facts.String())
+	sink := &recordingSink{}
+	var an Analyzer
+	rep, err := an.Analyze(context.Background(), NewRequest(AnalyzeChase, rules,
+		WithDatabase(db), WithChaseSink(sink)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chase.Outcome != Terminated {
+		t.Fatalf("outcome %v", rep.Chase.Outcome)
+	}
+	var streamed []string
+	for _, b := range sink.batches {
+		streamed = append(streamed, b...)
+	}
+	if len(streamed) != rep.Chase.Stats.FactsAdded {
+		t.Fatalf("streamed %d facts, run derived %d", len(streamed), rep.Chase.Stats.FactsAdded)
+	}
+	// The streamed facts plus the database are exactly the final model.
+	all := append([]string(nil), streamed...)
+	for i := 0; i < 300; i++ {
+		all = append(all, fmt.Sprintf("e(a%d,a%d)", i, i+1))
+	}
+	sort.Strings(all)
+	want := rep.Chase.Facts()
+	if len(all) != len(want) {
+		t.Fatalf("stream+db has %d facts, final instance %d", len(all), len(want))
+	}
+	for i := range want {
+		if all[i] != want[i] {
+			t.Fatalf("fact %d: streamed %q, final %q", i, all[i], want[i])
+		}
+	}
+	// 600 derived facts with batch size 256 means at least 2 batches —
+	// the adapter really batches instead of one call per trigger.
+	if len(sink.batches) < 2 {
+		t.Errorf("expected multiple batches, got %d", len(sink.batches))
+	}
+	if s := sink.last; s.FactsAdded != rep.Chase.Stats.FactsAdded {
+		t.Errorf("final sink stats %+v lag report %+v", s, rep.Chase.Stats)
+	}
+}
+
+// TestAnalyzeChaseSinkIgnoredByOtherKinds: attaching a sink to a decide
+// request is inert, not an error.
+func TestAnalyzeChaseSinkIgnoredByOtherKinds(t *testing.T) {
+	rules := MustParseRules("person(X) -> hasFather(X,Y), person(Y).")
+	sink := &recordingSink{}
+	var an Analyzer
+	rep, err := an.Analyze(context.Background(), NewRequest(AnalyzeDecide, rules, WithChaseSink(sink)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict == nil || rep.Verdict.Terminates != No {
+		t.Fatalf("verdict %+v", rep.Verdict)
+	}
+	if len(sink.batches) != 0 || sink.progress != 0 {
+		t.Error("decide request drove the chase sink")
+	}
+}
