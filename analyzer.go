@@ -3,6 +3,9 @@ package chaseterm
 import (
 	"context"
 	"fmt"
+	"time"
+
+	"chaseterm/internal/obs"
 )
 
 // AnalysisKind selects what an Analyzer computes for a Request.
@@ -169,6 +172,39 @@ func NewRequest(kind AnalysisKind, rules *RuleSet, opts ...RequestOption) Reques
 	return r
 }
 
+// Timings breaks one Analyze call's wall time into its stages. Stages
+// the request did not run stay zero; Total covers the whole call, so
+// Total minus the sum of the stages is the (small) dispatch overhead.
+type Timings struct {
+	// Classify covers the syntactic pass: class, schema, fingerprint.
+	Classify time.Duration
+	// Acyclicity covers the positional-criteria evaluation.
+	Acyclicity time.Duration
+	// Decide covers the termination decision procedure.
+	Decide time.Duration
+	// Chase covers the chase run itself.
+	Chase time.Duration
+	// Render covers materializing the final instance (WithFacts only;
+	// lazy rendering after Analyze returns is not accounted here).
+	Render time.Duration
+	// Total is the wall time of the Analyze call.
+	Total time.Duration
+}
+
+// EngineStats aggregates the chase engine's counters for a run. It is
+// the superset of ChaseStats that also carries TriggersEnqueued — the
+// scheduler-side count the public ChaseStats predates — so the
+// observability layer reports every counter the engine keeps.
+type EngineStats struct {
+	InitialFacts      int
+	FactsAdded        int
+	TriggersApplied   int
+	TriggersNoop      int
+	TriggersSatisfied int
+	TriggersEnqueued  int
+	MaxTermDepth      int
+}
+
 // Report is the unified result of Analyzer.Analyze. The classification
 // fields (Class, NumRules, MaxArity, Predicates, Fingerprint) are
 // always populated — classification is a cheap syntactic pass and every
@@ -197,6 +233,12 @@ type Report struct {
 	// Acyclicity is the positional-criteria report (AnalyzeAcyclicity or
 	// WithAcyclicity).
 	Acyclicity *AcyclicityReport
+
+	// Timings breaks the call's wall time into stages; always populated.
+	Timings Timings
+	// Engine aggregates the engine counters of a chase run
+	// (AnalyzeChase), including the partial counters of a canceled run.
+	Engine *EngineStats
 }
 
 // Analyzer is the single entry point to every analysis of the library:
@@ -222,7 +264,20 @@ type Analyzer struct{}
 // trigger applications). For AnalyzeChase, cancellation returns the
 // partial report together with ctx.Err(); every other kind returns a
 // nil report with the context error.
-func (Analyzer) Analyze(ctx context.Context, req Request) (*Report, error) {
+// Analyze also observes the request: the report's Timings section is
+// always populated, and when the context carries an obs.Trace (the
+// analysis service threads one through every job), the decider, chase,
+// and render stages are additionally recorded as spans on it.
+func (a Analyzer) Analyze(ctx context.Context, req Request) (*Report, error) {
+	start := time.Now()
+	rep, err := a.analyze(ctx, req)
+	if rep != nil {
+		rep.Timings.Total = time.Since(start)
+	}
+	return rep, err
+}
+
+func (Analyzer) analyze(ctx context.Context, req Request) (*Report, error) {
 	if req.Rules == nil {
 		return nil, fmt.Errorf("chaseterm: analysis request has no rule set")
 	}
@@ -232,6 +287,8 @@ func (Analyzer) Analyze(ctx context.Context, req Request) (*Report, error) {
 		// would answer a different question.
 		return nil, fmt.Errorf("chaseterm: analysis request has a nil database")
 	}
+	tr := obs.FromContext(ctx) // nil-safe: Add on a nil trace is a no-op
+	stage := time.Now()
 	rep := &Report{
 		Kind:        req.Kind,
 		Fingerprint: req.Rules.Fingerprint(),
@@ -240,9 +297,12 @@ func (Analyzer) Analyze(ctx context.Context, req Request) (*Report, error) {
 		MaxArity:    req.Rules.MaxArity(),
 		Predicates:  req.Rules.Predicates(),
 	}
+	rep.Timings.Classify = time.Since(stage)
 	if req.withAcyclicity || req.Kind == AnalyzeAcyclicity {
+		stage = time.Now()
 		acyc := checkAcyclicity(req.Rules)
 		rep.Acyclicity = &acyc
+		rep.Timings.Acyclicity = time.Since(stage)
 	}
 	switch req.Kind {
 	case AnalyzeClassify, AnalyzeAcyclicity:
@@ -250,11 +310,14 @@ func (Analyzer) Analyze(ctx context.Context, req Request) (*Report, error) {
 	case AnalyzeDecide:
 		var verdict *Verdict
 		var err error
+		stage = time.Now()
 		if req.database != nil {
 			verdict, err = decideOnDatabase(ctx, req.database, req.Rules, req.Variant(), req.decideOpts)
 		} else {
 			verdict, err = decideTermination(ctx, req.Rules, req.Variant(), req.decideOpts)
 		}
+		rep.Timings.Decide = time.Since(stage)
+		tr.Add(obs.SpanDecider, rep.Timings.Decide)
 		if err != nil {
 			return nil, err
 		}
@@ -265,14 +328,22 @@ func (Analyzer) Analyze(ctx context.Context, req Request) (*Report, error) {
 		if db == nil {
 			db = CriticalDatabase(req.Rules)
 		}
+		stage = time.Now()
 		res, err := runChase(ctx, db, req.Rules, req.Variant(), req.chaseOpts, req.sink)
+		rep.Timings.Chase = time.Since(stage)
+		tr.Add(obs.SpanChase, rep.Timings.Chase)
 		if res == nil {
 			return nil, err
 		}
 		if err == nil && req.renderFacts {
+			stage = time.Now()
 			res.Facts()
+			rep.Timings.Render = time.Since(stage)
+			tr.Add(obs.SpanRender, rep.Timings.Render)
 		}
 		rep.Chase = res
+		engine := res.engine
+		rep.Engine = &engine
 		// err is non-nil exactly when the run was canceled; the partial
 		// report still carries the stats gathered so far.
 		return rep, err

@@ -1,0 +1,105 @@
+package chaseterm
+
+import (
+	"context"
+	"testing"
+
+	"chaseterm/internal/obs"
+)
+
+// TestReportTimings pins the observability contract of Analyze: Timings
+// is always populated, stages the request ran are nonzero, their sum
+// never exceeds Total, and chase reports carry the full engine counter
+// set (including TriggersEnqueued, which the public ChaseStats lacks).
+func TestReportTimings(t *testing.T) {
+	rules := MustParseRules(`e(X,Y) -> e(Y,Z).`)
+	ctx := context.Background()
+	var an Analyzer
+
+	t.Run("classify", func(t *testing.T) {
+		rep, err := an.Analyze(ctx, NewRequest(AnalyzeClassify, rules))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Timings.Total <= 0 {
+			t.Errorf("Timings.Total = %v, want > 0", rep.Timings.Total)
+		}
+		if rep.Timings.Decide != 0 || rep.Timings.Chase != 0 {
+			t.Errorf("classify ran no decide/chase stage, got %+v", rep.Timings)
+		}
+		if rep.Engine != nil {
+			t.Error("classify report should have no engine stats")
+		}
+	})
+
+	t.Run("decide", func(t *testing.T) {
+		rep, err := an.Analyze(ctx, NewRequest(AnalyzeDecide, rules))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Timings.Decide <= 0 {
+			t.Errorf("Timings.Decide = %v, want > 0", rep.Timings.Decide)
+		}
+		if sum := rep.Timings.Classify + rep.Timings.Acyclicity + rep.Timings.Decide +
+			rep.Timings.Chase + rep.Timings.Render; sum > rep.Timings.Total {
+			t.Errorf("stage sum %v exceeds Total %v", sum, rep.Timings.Total)
+		}
+	})
+
+	t.Run("chase", func(t *testing.T) {
+		rep, err := an.Analyze(ctx, NewRequest(AnalyzeChase, rules,
+			WithChaseBudgets(ChaseOptions{MaxTriggers: 50, MaxFacts: 50}), WithFacts()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Timings.Chase <= 0 {
+			t.Errorf("Timings.Chase = %v, want > 0", rep.Timings.Chase)
+		}
+		if rep.Engine == nil {
+			t.Fatal("chase report missing engine stats")
+		}
+		if rep.Engine.TriggersApplied != rep.Chase.Stats.TriggersApplied {
+			t.Errorf("Engine.TriggersApplied = %d, Stats says %d",
+				rep.Engine.TriggersApplied, rep.Chase.Stats.TriggersApplied)
+		}
+		if rep.Engine.TriggersEnqueued < rep.Engine.TriggersApplied {
+			t.Errorf("TriggersEnqueued %d < TriggersApplied %d",
+				rep.Engine.TriggersEnqueued, rep.Engine.TriggersApplied)
+		}
+	})
+}
+
+// TestAnalyzeRecordsSpans checks that a context-carried obs.Trace picks
+// up the decider and chase stages.
+func TestAnalyzeRecordsSpans(t *testing.T) {
+	rules := MustParseRules(`p(X) -> q(X).`)
+	var an Analyzer
+
+	tr := new(obs.Trace)
+	ctx := obs.NewContext(context.Background(), tr)
+	if _, err := an.Analyze(ctx, NewRequest(AnalyzeDecide, rules)); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Get(obs.SpanDecider) <= 0 {
+		t.Errorf("decider span not recorded: %v", tr.Get(obs.SpanDecider))
+	}
+	if tr.Get(obs.SpanChase) != 0 {
+		t.Errorf("decide request recorded a chase span: %v", tr.Get(obs.SpanChase))
+	}
+
+	tr.Reset()
+	if _, err := an.Analyze(ctx, NewRequest(AnalyzeChase, rules, WithFacts())); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Get(obs.SpanChase) <= 0 {
+		t.Errorf("chase span not recorded: %v", tr.Get(obs.SpanChase))
+	}
+	if tr.Get(obs.SpanRender) <= 0 {
+		t.Errorf("render span not recorded despite WithFacts: %v", tr.Get(obs.SpanRender))
+	}
+
+	// No trace on the context: must still work (nil-safe path).
+	if _, err := an.Analyze(context.Background(), NewRequest(AnalyzeDecide, rules)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -76,6 +76,10 @@ type AnalyzeRequest struct {
 	// WithAcyclicity attaches the positional acyclicity report to the
 	// response, whatever the kind.
 	WithAcyclicity bool `json:"withAcyclicity,omitempty"`
+
+	// Trace attaches the per-request observability report — per-stage
+	// durations and engine counters — to the response (see Trace).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // AnalyzeResponse is the body of a successful POST /v2/analyze, and one
@@ -109,6 +113,10 @@ type AnalyzeResponse struct {
 	// Acyclicity is the positional-criteria report (kind "acyclicity"
 	// or withAcyclicity on any kind).
 	Acyclicity *Acyclicity `json:"acyclicity,omitempty"`
+
+	// Trace is the per-request observability report; present only when
+	// the request set trace.
+	Trace *Trace `json:"trace,omitempty"`
 
 	// Error is set instead of the result sections when a batch entry
 	// fails; single requests report errors at the HTTP level with an
@@ -259,4 +267,7 @@ func (e *Error) Error() string {
 // {"error": {"code": "...", "message": "..."}}.
 type ErrorEnvelope struct {
 	Error *Error `json:"error"`
+	// RequestID identifies the failed request in the server's logs; the
+	// same value travels in the X-Request-ID response header.
+	RequestID string `json:"requestId,omitempty"`
 }

@@ -39,6 +39,7 @@ func goldenCases() []struct {
 			MaxDepth:       5,
 			ReturnFacts:    true,
 			WithAcyclicity: true,
+			Trace:          true,
 		}},
 		{"analyze_response_classify.json", &AnalyzeResponse{
 			Kind:        KindClassify,
@@ -122,7 +123,41 @@ func goldenCases() []struct {
 			},
 		}},
 		{"error_envelope.json", &ErrorEnvelope{
-			Error: &Error{Code: CodeUnavailable, Message: "engine is shutting down"},
+			Error:     &Error{Code: CodeUnavailable, Message: "engine is shutting down"},
+			RequestID: "9f2c1a07-42",
+		}},
+		{"analyze_response_traced.json", &AnalyzeResponse{
+			Kind:        KindChase,
+			Fingerprint: "2f7a000000000000000000000000000000000000000000000000000000000000",
+			Class:       "simple-linear",
+			NumRules:    intp(1),
+			MaxArity:    intp(2),
+			Predicates:  []string{"hasFather/2", "person/1"},
+			Chase: &ChaseRun{
+				Outcome: "budget-exceeded",
+				Stats: ChaseStats{
+					InitialFacts:    1,
+					FactsAdded:      3000,
+					TriggersApplied: 3000,
+					MaxTermDepth:    3000,
+				},
+			},
+			Trace: &Trace{
+				RequestID:  "9f2c1a07-42",
+				WallMillis: 12.75,
+				Spans: []Span{
+					{Name: "decode", Millis: 0.08},
+					{Name: "queueWait", Millis: 0.5},
+					{Name: "chase", Millis: 12.1},
+				},
+				Engine: &EngineStats{
+					InitialFacts:     1,
+					FactsAdded:       3000,
+					TriggersApplied:  3000,
+					TriggersEnqueued: 3001,
+					MaxTermDepth:     3000,
+				},
+			},
 		}},
 		{"stream_event_facts.json", &StreamEvent{
 			Event: StreamFacts,

@@ -1,0 +1,48 @@
+package api
+
+// This file defines the opt-in observability section of the v2 wire:
+// a request that sets "trace": true receives its per-stage durations
+// and engine counters back on the response. The fields are additive —
+// untraced requests and responses serialize byte-identically to the
+// pre-trace wire, as the golden fixtures pin.
+
+// Trace is the per-request observability report echoed on a traced
+// response: the request identifier, the wall time the server spent on
+// the job, its per-stage breakdown, and — for chase runs — the engine's
+// counters. The spans cover queueing (queueWait, singleflightWait) as
+// well as execution (decode, cacheLookup, decider, chase, render), so
+// their sum is bounded by wallMillis plus the decode time measured
+// before the job's wall clock starts.
+type Trace struct {
+	// RequestID identifies the request in the server's logs; the same
+	// value travels in the X-Request-ID response header.
+	RequestID string `json:"requestId,omitempty"`
+	// WallMillis is the server-side wall time of the request.
+	WallMillis float64 `json:"wallMillis"`
+	// Spans lists the nonzero stages in execution order.
+	Spans []Span `json:"spans,omitempty"`
+	// Engine carries the chase engine's counters (chase kinds only).
+	Engine *EngineStats `json:"engine,omitempty"`
+}
+
+// Span is one stage of a traced request. Names are a fixed vocabulary:
+// decode, cacheLookup, singleflightWait, queueWait, decider, chase,
+// render.
+type Span struct {
+	Name   string  `json:"name"`
+	Millis float64 `json:"millis"`
+}
+
+// EngineStats is the full engine counter set of a chase run. Unlike
+// ChaseStats (kept unchanged for wire stability) it includes
+// TriggersEnqueued, the scheduler-side count of triggers that entered
+// the worklist.
+type EngineStats struct {
+	InitialFacts      int `json:"initialFacts"`
+	FactsAdded        int `json:"factsAdded"`
+	TriggersApplied   int `json:"triggersApplied"`
+	TriggersNoop      int `json:"triggersNoop"`
+	TriggersSatisfied int `json:"triggersSatisfied"`
+	TriggersEnqueued  int `json:"triggersEnqueued"`
+	MaxTermDepth      int `json:"maxTermDepth"`
+}

@@ -317,6 +317,11 @@ type ChaseResult struct {
 	Outcome ChaseOutcome
 	Stats   ChaseStats
 
+	// engine is the full engine counter set, a superset of Stats
+	// (TriggersEnqueued has no field in the public ChaseStats); surfaced
+	// as Report.Engine by Analyzer.Analyze.
+	engine EngineStats
+
 	factsOnce sync.Once
 	facts     []string
 	inst      *instance.Instance
@@ -478,6 +483,15 @@ func runChase(ctx context.Context, db *Database, rules *RuleSet, v Variant, opt 
 		Variant: v,
 		inst:    res.Instance,
 		Stats:   toChaseStats(res.Stats),
+		engine: EngineStats{
+			InitialFacts:      res.Stats.InitialFacts,
+			FactsAdded:        res.Stats.FactsAdded,
+			TriggersApplied:   res.Stats.TriggersApplied,
+			TriggersNoop:      res.Stats.TriggersNoop,
+			TriggersSatisfied: res.Stats.TriggersSatisfied,
+			TriggersEnqueued:  res.Stats.TriggersEnqueued,
+			MaxTermDepth:      int(res.Stats.MaxTermDepth),
+		},
 	}
 	switch res.Outcome {
 	case chase.Terminated:

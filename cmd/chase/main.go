@@ -2,14 +2,15 @@
 //
 // Usage:
 //
-//	chase [-variant o|so|r] [-max-triggers N] [-max-facts N] [-print] [-stream] rules.dl db.dl
+//	chase [-variant o|so|r] [-max-triggers N] [-max-facts N] [-print] [-stream] [-stats] rules.dl db.dl
 //
 // Files use the Datalog± syntax of the library: `body -> head.` rules with
 // upper-case variables, and ground facts `p(a,b).`. The tool prints run
 // statistics and, with -print, the final instance. With -stream, derived
 // facts are printed incrementally as the run produces them — useful for
 // watching a long chase make progress, and for piping a huge instance
-// without holding it rendered in memory twice.
+// without holding it rendered in memory twice. With -stats, the report's
+// per-stage timings and full engine counter set are printed as well.
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"chaseterm"
 )
@@ -30,6 +32,7 @@ func main() {
 	maxFacts := flag.Int("max-facts", 100000, "fact budget (0 = default)")
 	printFacts := flag.Bool("print", false, "print the final instance")
 	stream := flag.Bool("stream", false, "print derived facts incrementally as the run produces them")
+	stats := flag.Bool("stats", false, "print per-stage timings and engine counters from the report")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chase [flags] rules.dl db.dl\n")
 		flag.PrintDefaults()
@@ -47,7 +50,7 @@ func main() {
 	// Ctrl-C force-kills even while -print renders a huge partial
 	// instance.
 	go func() { <-ctx.Done(); stop() }()
-	if err := run(ctx, *variant, flag.Arg(0), flag.Arg(1), *maxTriggers, *maxFacts, *printFacts, *stream); err != nil {
+	if err := run(ctx, *variant, flag.Arg(0), flag.Arg(1), *maxTriggers, *maxFacts, *printFacts, *stream, *stats); err != nil {
 		if errors.Is(err, context.Canceled) {
 			// Partial stats were already printed; exit with the
 			// conventional interrupted status so wrappers stop too.
@@ -70,7 +73,7 @@ func (printSink) EmitFacts(facts []string, _ chaseterm.ChaseStats) {
 
 func (printSink) Progress(chaseterm.ChaseStats) {}
 
-func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, printFacts, stream bool) error {
+func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, printFacts, stream, stats bool) error {
 	v, err := chaseterm.ParseVariant(variantName)
 	if err != nil {
 		return err
@@ -116,6 +119,9 @@ func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers
 	fmt.Printf("triggers: %d applied, %d no-op, %d already satisfied\n",
 		s.TriggersApplied, s.TriggersNoop, s.TriggersSatisfied)
 	fmt.Printf("max invented-term depth: %d\n", s.MaxTermDepth)
+	if stats {
+		printReportStats(rep)
+	}
 	switch res.Outcome {
 	case chaseterm.Terminated:
 	case chaseterm.Canceled:
@@ -133,4 +139,28 @@ func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers
 	// are the partial picture, and the caller still needs to see the
 	// interruption (a wrapper script must not mistake it for success).
 	return err
+}
+
+// printReportStats renders the -stats section: the report's per-stage
+// elapsed times and, for chase runs, the engine's full counter set
+// (including the enqueue count the summary lines above leave out).
+func printReportStats(rep *chaseterm.Report) {
+	t := rep.Timings
+	fmt.Printf("timings: classify %s, chase %s, render %s, total %s\n",
+		fmtDur(t.Classify), fmtDur(t.Chase), fmtDur(t.Render), fmtDur(t.Total))
+	if e := rep.Engine; e != nil {
+		fmt.Printf("engine: %d triggers enqueued, %d applied, %d no-op, %d satisfied\n",
+			e.TriggersEnqueued, e.TriggersApplied, e.TriggersNoop, e.TriggersSatisfied)
+		fmt.Printf("engine: %d facts initial, %d derived, max term depth %d\n",
+			e.InitialFacts, e.FactsAdded, e.MaxTermDepth)
+	}
+}
+
+// fmtDur rounds a stage duration for display; sub-10µs stages print as
+// their exact value rather than a misleading "0s".
+func fmtDur(d time.Duration) string {
+	if r := d.Round(10 * time.Microsecond); r != 0 {
+		return r.String()
+	}
+	return d.String()
 }

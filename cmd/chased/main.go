@@ -6,6 +6,7 @@
 // Usage:
 //
 //	chased [-addr :8080] [-workers N] [-cache-size N] [-timeout 30s] [-pprof addr]
+//	       [-log-json] [-log-level info] [-slow-request 0]
 //
 // Endpoints — the versioned contract (package api; kind in the body):
 //
@@ -15,14 +16,21 @@
 //	                                                        connection aborts the run
 //	GET  /healthz                                           liveness
 //	GET  /v1/stats                                          cache + latency + stream counters
+//	GET  /metrics                                           Prometheus text exposition format
 //
 // and the v1 compatibility shims (flat bodies, kind implied by route):
 //
 //	POST /v1/classify, /v1/decide, /v1/chase, /v1/batch
 //
+// Every request gets an X-Request-ID (generated, or propagated from the
+// client's header), echoed on the response and carried in the one
+// structured log record each job emits. -log-json switches those
+// records to JSON; -slow-request raises requests at or over the
+// threshold to WARN.
+//
 // Errors carry machine-readable codes: v2 responds with the envelope
-// {"error": {"code": "...", "message": "..."}}; package client is the
-// Go client for this contract.
+// {"error": {"code": "...", "message": "..."}, "requestId": "..."};
+// package client is the Go client for this contract.
 //
 // Example:
 //
@@ -35,7 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -48,11 +56,14 @@ import (
 )
 
 type config struct {
-	addr      string
-	workers   int
-	cacheSize int
-	timeout   time.Duration
-	pprofAddr string
+	addr        string
+	workers     int
+	cacheSize   int
+	timeout     time.Duration
+	pprofAddr   string
+	logJSON     bool
+	logLevel    string
+	slowRequest time.Duration
 }
 
 func main() {
@@ -63,6 +74,10 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-job timeout")
 	flag.StringVar(&cfg.pprofAddr, "pprof", "",
 		"serve net/http/pprof on this address (e.g. 127.0.0.1:6060); empty = disabled")
+	flag.BoolVar(&cfg.logJSON, "log-json", false, "emit log records as JSON (default: logfmt-style text)")
+	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, error")
+	flag.DurationVar(&cfg.slowRequest, "slow-request", 0,
+		"log requests at or over this duration at WARN with slow=true (0 = disabled)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chased [flags]\n")
 		flag.PrintDefaults()
@@ -72,25 +87,53 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	logger, err := newLogger(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "chased:", err)
+		os.Exit(2)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	// Once the first signal starts the graceful drain, restore default
 	// signal handling so a second Ctrl-C / SIGTERM force-kills instead of
 	// being swallowed while the server waits for stragglers.
 	go func() { <-ctx.Done(); stop() }()
-	if err := run(ctx, cfg, nil); err != nil {
-		log.Fatal("chased: ", err)
+	if err := run(ctx, cfg, logger, nil); err != nil {
+		logger.Error("exiting", "error", err.Error())
+		os.Exit(1)
 	}
+}
+
+// newLogger builds the process logger from the -log-json and -log-level
+// flags.
+func newLogger(cfg config) (*slog.Logger, error) {
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(cfg.logLevel)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", cfg.logLevel, err)
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if cfg.logJSON {
+		h = slog.NewJSONHandler(os.Stderr, opts)
+	} else {
+		h = slog.NewTextHandler(os.Stderr, opts)
+	}
+	return slog.New(h), nil
 }
 
 // run starts the engine and serves until ctx is cancelled, then shuts
 // down gracefully. ready, when non-nil, receives the bound address once
 // the listener is up (used by tests binding port 0).
-func run(ctx context.Context, cfg config, ready func(net.Addr)) error {
+func run(ctx context.Context, cfg config, logger *slog.Logger, ready func(net.Addr)) error {
+	if logger == nil {
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	}
 	eng := service.New(service.Options{
-		Workers:    cfg.workers,
-		CacheSize:  cfg.cacheSize,
-		JobTimeout: cfg.timeout,
+		Workers:     cfg.workers,
+		CacheSize:   cfg.cacheSize,
+		JobTimeout:  cfg.timeout,
+		Logger:      logger,
+		SlowRequest: cfg.slowRequest,
 	})
 	defer eng.Close()
 
@@ -107,7 +150,7 @@ func run(ctx context.Context, cfg config, ready func(net.Addr)) error {
 		if err != nil {
 			return fmt.Errorf("pprof listener: %w", err)
 		}
-		log.Printf("chased: pprof on http://%s/debug/pprof/", pln.Addr())
+		logger.Info("pprof listening", "url", fmt.Sprintf("http://%s/debug/pprof/", pln.Addr()))
 		psrv := &http.Server{Handler: pm, ReadHeaderTimeout: 10 * time.Second}
 		// Tie the profiler's lifetime to the run context so repeated run()
 		// calls (tests, embedders) don't leak the listener.
@@ -115,7 +158,7 @@ func run(ctx context.Context, cfg config, ready func(net.Addr)) error {
 		defer stopPprof()
 		go func() {
 			if err := psrv.Serve(pln); !errors.Is(err, http.ErrServerClosed) {
-				log.Printf("chased: pprof server: %v", err)
+				logger.Error("pprof server", "error", err.Error())
 			}
 		}()
 	}
@@ -125,8 +168,12 @@ func run(ctx context.Context, cfg config, ready func(net.Addr)) error {
 		return err
 	}
 	eff := eng.Config()
-	log.Printf("chased: listening on %s (workers=%d, cache=%d, timeout=%s)",
-		ln.Addr(), eff.Workers, eff.CacheSize, eff.JobTimeout)
+	logger.Info("listening",
+		"addr", ln.Addr().String(),
+		"workers", eff.Workers,
+		"cacheSize", eff.CacheSize,
+		"timeout", eff.JobTimeout.String(),
+	)
 	if ready != nil {
 		ready(ln.Addr())
 	}
@@ -147,7 +194,7 @@ func run(ctx context.Context, cfg config, ready func(net.Addr)) error {
 		// handlers can be stuck in is context-aware and bounded by the
 		// per-job timeout, so the drain completes within roughly one
 		// JobTimeout; the grace period adds headroom for the final writes.
-		log.Print("chased: shutting down, draining in-flight requests")
+		logger.Info("shutting down, draining in-flight requests")
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.timeout+5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -5,11 +5,19 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"strings"
 	"testing"
 	"time"
 )
+
+// quiet keeps server log records out of the test output.
+func quiet() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 // TestServerLifecycle boots the server on an ephemeral port, exercises
 // the health and analysis endpoints end to end, and checks that a
@@ -23,7 +31,7 @@ func TestServerLifecycle(t *testing.T) {
 		done <- run(ctx, config{
 			addr:    "127.0.0.1:0",
 			timeout: 30 * time.Second,
-		}, func(a net.Addr) { addrs <- a })
+		}, quiet(), func(a net.Addr) { addrs <- a })
 	}()
 
 	var base string
@@ -94,6 +102,33 @@ func TestServerLifecycle(t *testing.T) {
 		t.Fatal("v1 shim did not share the verdict cache with /v2/analyze")
 	}
 
+	// The Prometheus endpoint is wired in and reflects the traffic above.
+	metricsResp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, err := io.ReadAll(metricsResp.Body)
+	metricsResp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if metricsResp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", metricsResp.StatusCode)
+	}
+	if got := metricsResp.Header.Get("Content-Type"); !strings.HasPrefix(got, "text/plain; version=0.0.4") {
+		t.Fatalf("metrics Content-Type = %q", got)
+	}
+	exposition := string(metricsBody)
+	for _, want := range []string{
+		"chased_cache_hits_total ",
+		"chased_jobs_total 2",
+		`chased_request_exec_seconds_bucket{endpoint="analyze",le="+Inf"}`,
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("metrics exposition missing %q:\n%s", want, exposition)
+		}
+	}
+
 	cancel()
 	select {
 	case err := <-done:
@@ -120,7 +155,7 @@ func TestGracefulDrain(t *testing.T) {
 			addr:    "127.0.0.1:0",
 			workers: 1,
 			timeout: 2 * time.Second,
-		}, func(a net.Addr) { addrs <- a })
+		}, quiet(), func(a net.Addr) { addrs <- a })
 	}()
 	var base string
 	select {
@@ -206,7 +241,7 @@ func TestGracefulDrain(t *testing.T) {
 }
 
 func TestRunRejectsBadAddress(t *testing.T) {
-	err := run(context.Background(), config{addr: "127.0.0.1:notaport", timeout: time.Second}, nil)
+	err := run(context.Background(), config{addr: "127.0.0.1:notaport", timeout: time.Second}, quiet(), nil)
 	if err == nil {
 		t.Fatal("bad listen address accepted")
 	}
@@ -233,7 +268,7 @@ func TestPprofAndRuntimeStats(t *testing.T) {
 			addr:      "127.0.0.1:0",
 			timeout:   30 * time.Second,
 			pprofAddr: pprofAddr,
-		}, func(a net.Addr) { addrs <- a })
+		}, quiet(), func(a net.Addr) { addrs <- a })
 	}()
 	var base string
 	select {

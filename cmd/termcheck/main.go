@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	termcheck [-variant o|so|r|all] rules.dl
+//	termcheck [-variant o|so|r|all] [-json] [-db db.dl] [-stats] rules.dl
 //
 // For linear rule sets the decision is by critical-weak/rich acyclicity
 // (exact, Theorems 1–3); for guarded sets by the chase-forest procedure
@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"chaseterm"
 )
@@ -29,10 +30,15 @@ import (
 // through one Analyze call.
 var analyzer chaseterm.Analyzer
 
+// showStats mirrors the -stats flag: print each report's per-stage
+// elapsed times (and engine counters when a chase actually ran).
+var showStats bool
+
 func main() {
 	variant := flag.String("variant", "all", "chase variant: o|so|r|all")
 	jsonOut := flag.Bool("json", false, "emit a JSON report instead of text")
 	dbPath := flag.String("db", "", "decide termination on this database only (fixed-database mode)")
+	flag.BoolVar(&showStats, "stats", false, "print per-stage timings and engine counters for every decision")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: termcheck [flags] rules.dl\n")
 		flag.PrintDefaults()
@@ -96,8 +102,42 @@ func runFixedDB(ctx context.Context, variantName, rulesPath, dbPath string) erro
 		if rep.Verdict.Witness != "" {
 			fmt.Printf("  witness: %s\n", rep.Verdict.Witness)
 		}
+		printReportStats(rep)
 	}
 	return nil
+}
+
+// printReportStats renders the -stats lines for one report: stage
+// elapsed times always, engine counters when the decision ran a chase.
+func printReportStats(rep *chaseterm.Report) {
+	if !showStats {
+		return
+	}
+	t := rep.Timings
+	fmt.Printf("  timings: classify %s", fmtDur(t.Classify))
+	if t.Acyclicity > 0 {
+		fmt.Printf(", acyclicity %s", fmtDur(t.Acyclicity))
+	}
+	if t.Decide > 0 {
+		fmt.Printf(", decide %s", fmtDur(t.Decide))
+	}
+	if t.Chase > 0 {
+		fmt.Printf(", chase %s", fmtDur(t.Chase))
+	}
+	fmt.Printf(", total %s\n", fmtDur(t.Total))
+	if e := rep.Engine; e != nil {
+		fmt.Printf("  engine: %d triggers enqueued, %d applied, %d no-op, %d satisfied, %d facts derived, max term depth %d\n",
+			e.TriggersEnqueued, e.TriggersApplied, e.TriggersNoop, e.TriggersSatisfied, e.FactsAdded, e.MaxTermDepth)
+	}
+}
+
+// fmtDur rounds a stage duration for display; sub-10µs stages print as
+// their exact value rather than a misleading "0s".
+func fmtDur(d time.Duration) string {
+	if r := d.Round(10 * time.Microsecond); r != 0 {
+		return r.String()
+	}
+	return d.String()
 }
 
 // jsonReport is the machine-readable output of -json.
@@ -189,6 +229,7 @@ func run(ctx context.Context, variantName, rulesPath string) error {
 		base.NumRules, base.Class, base.MaxArity)
 	fmt.Printf("positional criteria: rich-acyclic=%v weak-acyclic=%v jointly-acyclic=%v\n",
 		base.Acyclicity.RichlyAcyclic, base.Acyclicity.WeaklyAcyclic, base.Acyclicity.JointlyAcyclic)
+	printReportStats(base)
 	for _, v := range variants {
 		rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
 			chaseterm.WithVariant(v)))
@@ -203,6 +244,7 @@ func run(ctx context.Context, variantName, rulesPath string) error {
 		if rep.Verdict.Witness != "" {
 			fmt.Printf("  witness: %s\n", rep.Verdict.Witness)
 		}
+		printReportStats(rep)
 	}
 	return nil
 }

@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// This file is a dependency-free subset of the Prometheus client model:
+// enough to expose counters, gauges, and fixed-bucket histograms in the
+// text exposition format (version 0.0.4) that any Prometheus-compatible
+// scraper understands. Registration happens at startup; the update path
+// (Histogram.Observe) is a couple of atomic adds, so instrumented hot
+// loops stay lock-free and allocation-free.
+
+// A Registry holds the metric families of one process and renders them
+// on demand. Counters and gauges are registered as read closures over
+// atomics the owner already maintains — scrape-time sampling, no double
+// bookkeeping. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu   sync.Mutex // guards registration; rendering reads an immutable snapshot
+	fams []*family
+}
+
+func NewRegistry() *Registry { return &Registry{} }
+
+type metricType string
+
+const (
+	typeCounter   metricType = "counter"
+	typeGauge     metricType = "gauge"
+	typeHistogram metricType = "histogram"
+)
+
+// family is one named metric with HELP/TYPE metadata and a render hook.
+type family struct {
+	name string
+	help string
+	typ  metricType
+	// render appends the family's sample lines (without HELP/TYPE).
+	render func(b *strings.Builder)
+}
+
+func (r *Registry) add(f *family) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range r.fams {
+		if g.name == f.name {
+			panic("obs: duplicate metric " + f.name)
+		}
+	}
+	r.fams = append(r.fams, f)
+	sort.Slice(r.fams, func(i, j int) bool { return r.fams[i].name < r.fams[j].name })
+}
+
+// Counter registers a monotonically non-decreasing series sampled from
+// read at scrape time. The reader owns monotonicity (back it with an
+// atomic counter that is only ever added to).
+func (r *Registry) Counter(name, help string, read func() int64) {
+	r.add(&family{name: name, help: help, typ: typeCounter, render: func(b *strings.Builder) {
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(read(), 10))
+		b.WriteByte('\n')
+	}})
+}
+
+// Gauge registers a series that can go up and down, sampled from read
+// at scrape time.
+func (r *Registry) Gauge(name, help string, read func() float64) {
+	r.add(&family{name: name, help: help, typ: typeGauge, render: func(b *strings.Builder) {
+		b.WriteString(name)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(read()))
+		b.WriteByte('\n')
+	}})
+}
+
+// DefBuckets are the default latency histogram bounds, in seconds. They
+// span sub-millisecond cache hits to multi-second chase runs.
+var DefBuckets = []float64{
+	.001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram is a fixed-bucket latency histogram. Observe is lock-free
+// and allocation-free: one linear scan over the (small, sorted) bounds
+// plus three atomic adds. Bucket counts are kept per-bucket and
+// cumulated only at render time, so concurrent Observe calls never
+// contend on more than one cell.
+type Histogram struct {
+	bounds   []float64 // sorted upper bounds, seconds; +Inf implicit
+	counts   []atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	labels   string // rendered inside {...} on every series, may be ""
+}
+
+// Histogram registers and returns a histogram with the given bucket
+// upper bounds (seconds; nil means DefBuckets). constLabels, when
+// non-empty, is a pre-rendered label body such as `endpoint="analyze"`
+// attached to every series; histograms sharing a name must be
+// registered via HistogramVec semantics by giving each a distinct
+// label body — this minimal registry treats each (name, labels) pair
+// as its own registration and merges the HELP/TYPE header by name.
+func (r *Registry) Histogram(name, help, constLabels string, buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic("obs: histogram buckets not strictly increasing")
+		}
+	}
+	h := &Histogram{
+		bounds: buckets,
+		counts: make([]atomic.Int64, len(buckets)+1), // +1 for the +Inf overflow cell
+		labels: constLabels,
+	}
+	r.addHistogram(name, help, h)
+	return h
+}
+
+// addHistogram registers h under name, allowing several label variants
+// of the same family name (HELP/TYPE emitted once).
+func (r *Registry) addHistogram(name, help string, h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range r.fams {
+		if g.name != name {
+			continue
+		}
+		if g.typ != typeHistogram {
+			panic("obs: duplicate metric " + name)
+		}
+		prev := g.render
+		g.render = func(b *strings.Builder) {
+			prev(b)
+			h.render(b, name)
+		}
+		return
+	}
+	r.fams = append(r.fams, &family{
+		name: name, help: help, typ: typeHistogram,
+		render: func(b *strings.Builder) { h.render(b, name) },
+	})
+	sort.Slice(r.fams, func(i, j int) bool { return r.fams[i].name < r.fams[j].name })
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	sec := d.Seconds()
+	i := 0
+	for i < len(h.bounds) && sec > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// render writes the _bucket/_sum/_count series. Buckets are cumulated
+// here; the snapshot is not atomic across cells, which Prometheus
+// tolerates (counts are monotone, _count is read last so it never
+// exceeds the +Inf bucket by more than in-flight observations).
+func (h *Histogram) render(b *strings.Builder, name string) {
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		h.series(b, name, "_bucket", formatFloat(ub), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	h.series(b, name, "_bucket", "+Inf", cum)
+
+	b.WriteString(name)
+	b.WriteString("_sum")
+	h.labelBody(b, "")
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(float64(h.sumNanos.Load()) / 1e9))
+	b.WriteByte('\n')
+
+	b.WriteString(name)
+	b.WriteString("_count")
+	h.labelBody(b, "")
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(cum, 10))
+	b.WriteByte('\n')
+}
+
+func (h *Histogram) series(b *strings.Builder, name, suffix, le string, v int64) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	h.labelBody(b, `le="`+le+`"`)
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatInt(v, 10))
+	b.WriteByte('\n')
+}
+
+// labelBody writes {labels,extra} with either part optional.
+func (h *Histogram) labelBody(b *strings.Builder, extra string) {
+	if h.labels == "" && extra == "" {
+		return
+	}
+	b.WriteByte('{')
+	b.WriteString(h.labels)
+	if h.labels != "" && extra != "" {
+		b.WriteByte(',')
+	}
+	b.WriteString(extra)
+	b.WriteByte('}')
+}
+
+// formatFloat renders a float the way the exposition format expects:
+// shortest round-trip representation, +Inf/-Inf/NaN spelled out.
+func formatFloat(f float64) string {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// WriteTo renders every registered family in the text exposition
+// format, sorted by family name.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	fams := make([]*family, len(r.fams))
+	copy(fams, r.fams)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.WriteString("# HELP ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.help)
+		b.WriteByte('\n')
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(string(f.typ))
+		b.WriteByte('\n')
+		f.render(&b)
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// ServeHTTP makes the registry a scrape handler for GET /metrics.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet && req.Method != http.MethodHead {
+		w.Header().Set("Allow", "GET, HEAD")
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if req.Method == http.MethodHead {
+		return
+	}
+	r.WriteTo(w)
+}

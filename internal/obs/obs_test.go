@@ -1,0 +1,270 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceAddGetSum(t *testing.T) {
+	tr := GetTrace()
+	defer PutTrace(tr)
+
+	tr.Add(SpanDecode, 2*time.Millisecond)
+	tr.Add(SpanChase, 5*time.Millisecond)
+	tr.Add(SpanChase, 3*time.Millisecond) // cumulative within a kind
+
+	if got := tr.Get(SpanDecode); got != 2*time.Millisecond {
+		t.Errorf("Get(decode) = %v, want 2ms", got)
+	}
+	if got := tr.Get(SpanChase); got != 8*time.Millisecond {
+		t.Errorf("Get(chase) = %v, want 8ms", got)
+	}
+	if got := tr.Get(SpanDecider); got != 0 {
+		t.Errorf("Get(decider) = %v, want 0", got)
+	}
+	if got := tr.Sum(); got != 10*time.Millisecond {
+		t.Errorf("Sum() = %v, want 10ms", got)
+	}
+
+	var kinds []SpanKind
+	tr.Each(func(k SpanKind, d time.Duration) { kinds = append(kinds, k) })
+	if len(kinds) != 2 || kinds[0] != SpanDecode || kinds[1] != SpanChase {
+		t.Errorf("Each visited %v, want [decode chase]", kinds)
+	}
+
+	tr.Reset()
+	if got := tr.Sum(); got != 0 {
+		t.Errorf("Sum() after Reset = %v, want 0", got)
+	}
+}
+
+func TestTraceNilSafe(t *testing.T) {
+	var tr *Trace
+	tr.Add(SpanDecode, time.Millisecond) // must not panic
+	if tr.Get(SpanDecode) != 0 || tr.Sum() != 0 {
+		t.Error("nil trace should read as zero")
+	}
+	tr.Each(func(SpanKind, time.Duration) { t.Error("nil trace yielded a span") })
+	PutTrace(nil)
+}
+
+func TestTraceIgnoresGarbage(t *testing.T) {
+	tr := new(Trace)
+	tr.Add(SpanDecode, -time.Second)
+	tr.Add(NumSpans+3, time.Second)
+	if tr.Sum() != 0 {
+		t.Errorf("garbage Adds recorded: Sum = %v", tr.Sum())
+	}
+	if tr.Get(NumSpans+3) != 0 {
+		t.Error("out-of-range Get should be zero")
+	}
+}
+
+func TestSpanNames(t *testing.T) {
+	want := []string{"decode", "cacheLookup", "singleflightWait", "queueWait", "decider", "chase", "render"}
+	if int(NumSpans) != len(want) {
+		t.Fatalf("NumSpans = %d, want %d", NumSpans, len(want))
+	}
+	for k := SpanKind(0); k < NumSpans; k++ {
+		if k.String() != want[k] {
+			t.Errorf("SpanKind(%d).String() = %q, want %q", k, k.String(), want[k])
+		}
+	}
+	if s := (NumSpans + 1).String(); !strings.HasPrefix(s, "span(") {
+		t.Errorf("out-of-range String() = %q", s)
+	}
+}
+
+func TestTraceContext(t *testing.T) {
+	if FromContext(context.Background()) != nil {
+		t.Error("empty context should carry no trace")
+	}
+	tr := new(Trace)
+	ctx := NewContext(context.Background(), tr)
+	if FromContext(ctx) != tr {
+		t.Error("FromContext did not return the stored trace")
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == b {
+		t.Errorf("consecutive request IDs collide: %q", a)
+	}
+	if !strings.Contains(a, "-") {
+		t.Errorf("request ID %q missing prefix separator", a)
+	}
+
+	ctx := WithRequestID(context.Background(), a)
+	if got := RequestIDFromContext(ctx); got != a {
+		t.Errorf("RequestIDFromContext = %q, want %q", got, a)
+	}
+	if got := RequestIDFromContext(context.Background()); got != "" {
+		t.Errorf("empty context request ID = %q, want empty", got)
+	}
+}
+
+func TestHistogramCumulation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_seconds", "help.", "", []float64{0.01, 0.1, 1})
+	h.Observe(5 * time.Millisecond)   // bucket le=0.01
+	h.Observe(50 * time.Millisecond)  // bucket le=0.1
+	h.Observe(500 * time.Millisecond) // bucket le=1
+	h.Observe(5 * time.Second)        // +Inf
+
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_seconds help.",
+		"# TYPE test_seconds histogram",
+		`test_seconds_bucket{le="0.01"} 1`,
+		`test_seconds_bucket{le="0.1"} 2`,
+		`test_seconds_bucket{le="1"} 3`,
+		`test_seconds_bucket{le="+Inf"} 4`,
+		"test_seconds_count 4",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// sum = 5.555s
+	if !strings.Contains(out, "test_seconds_sum 5.555\n") {
+		t.Errorf("exposition missing sum 5.555:\n%s", out)
+	}
+}
+
+func TestHistogramBoundaryIsInclusive(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("b_seconds", "help.", "", []float64{0.001})
+	h.Observe(time.Millisecond) // exactly the bound: le means ≤
+	var b strings.Builder
+	r.WriteTo(&b)
+	if !strings.Contains(b.String(), `b_seconds_bucket{le="0.001"} 1`) {
+		t.Errorf("1ms observation missed the le=0.001 bucket:\n%s", b.String())
+	}
+}
+
+func TestHistogramLabelVariantsShareFamily(t *testing.T) {
+	r := NewRegistry()
+	a := r.Histogram("lat_seconds", "help.", `endpoint="analyze"`, []float64{1})
+	s := r.Histogram("lat_seconds", "help.", `endpoint="stream"`, []float64{1})
+	a.Observe(time.Millisecond)
+	s.Observe(time.Millisecond)
+	s.Observe(time.Millisecond)
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	if n := strings.Count(out, "# TYPE lat_seconds histogram"); n != 1 {
+		t.Errorf("TYPE line emitted %d times, want once:\n%s", n, out)
+	}
+	if !strings.Contains(out, `lat_seconds_bucket{endpoint="analyze",le="1"} 1`) {
+		t.Errorf("analyze variant missing:\n%s", out)
+	}
+	if !strings.Contains(out, `lat_seconds_count{endpoint="stream"} 2`) {
+		t.Errorf("stream variant missing:\n%s", out)
+	}
+}
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	var n int64 = 41
+	r.Counter("jobs_total", "Jobs served.", func() int64 { n++; return n })
+	r.Gauge("in_flight", "In-flight requests.", func() float64 { return 2.5 })
+
+	var b strings.Builder
+	r.WriteTo(&b)
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE in_flight gauge",
+		"# TYPE jobs_total counter",
+		"in_flight 2.5",
+		"jobs_total 42",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render sorted by name.
+	if strings.Index(out, "in_flight") > strings.Index(out, "jobs_total") {
+		t.Errorf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "h", func() int64 { return 0 })
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x_total", "h", func() int64 { return 0 })
+}
+
+// TestObserveAllocFree pins the instrumentation hot path: recording a
+// histogram sample and a trace span must not allocate, or the engine's
+// steady-state zero-alloc guarantees would silently erode.
+func TestObserveAllocFree(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("alloc_seconds", "help.", "", nil)
+	tr := new(Trace)
+	if n := testing.AllocsPerRun(1000, func() {
+		h.Observe(3 * time.Millisecond)
+		tr.Add(SpanChase, 3*time.Millisecond)
+	}); n != 0 {
+		t.Errorf("Observe+Add allocate %.1f per call, want 0", n)
+	}
+}
+
+// TestConcurrentObserveAndScrape is the package-level race check:
+// observations and renders race freely and every count must still be
+// accounted for afterwards.
+func TestConcurrentObserveAndScrape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("race_seconds", "help.", "", nil)
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	for i := 0; i < 20; i++ {
+		var b strings.Builder
+		if _, err := r.WriteTo(&b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	var b strings.Builder
+	r.WriteTo(&b)
+	want := "race_seconds_count " + itoa(goroutines*perG)
+	if !strings.Contains(b.String(), want+"\n") {
+		t.Errorf("final scrape missing %q:\n%s", want, b.String())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,191 @@
+// Package obs is the observability substrate of the served system:
+// per-request traces with a fixed vocabulary of typed spans, request-ID
+// generation and propagation, and a dependency-free Prometheus
+// text-format metrics registry.
+//
+// The package is deliberately tiny and allocation-conscious: traces are
+// pooled and record into a fixed array of atomic counters, metric
+// updates are single atomic adds, and nothing here imports anything
+// heavier than the standard library. The analysis service threads one
+// Trace through every layer of a request (HTTP decode, verdict cache,
+// worker pool, decision engines) via the context; the same span values
+// feed the request-latency histograms, the structured per-job log
+// record, and — when the client opts in — the wire-level trace echoed
+// on the response.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanKind names one stage of a request's life. The vocabulary is fixed
+// and small on purpose: every layer records into the same array slots,
+// so assembling a trace is a loop over an array, not a tree walk.
+type SpanKind uint8
+
+const (
+	// SpanDecode: reading and JSON-decoding the request body.
+	SpanDecode SpanKind = iota
+	// SpanCacheLookup: probing the verdict cache (hit or miss).
+	SpanCacheLookup
+	// SpanSingleflightWait: waiting on another request's in-flight
+	// computation of the same cache key.
+	SpanSingleflightWait
+	// SpanQueueWait: waiting for a worker-pool slot.
+	SpanQueueWait
+	// SpanDecider: executing a termination decision procedure.
+	SpanDecider
+	// SpanChase: executing a chase run.
+	SpanChase
+	// SpanRender: rendering the final instance to surface syntax.
+	SpanRender
+
+	// NumSpans is the size of the span vocabulary.
+	NumSpans
+)
+
+var spanNames = [NumSpans]string{
+	"decode",
+	"cacheLookup",
+	"singleflightWait",
+	"queueWait",
+	"decider",
+	"chase",
+	"render",
+}
+
+func (k SpanKind) String() string {
+	if k < NumSpans {
+		return spanNames[k]
+	}
+	return "span(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Trace accumulates the per-stage durations of one request. All methods
+// are safe for concurrent use and nil-safe on the receiver, so call
+// sites record unconditionally:
+//
+//	obs.FromContext(ctx).Add(obs.SpanQueueWait, wait)
+//
+// Spans are cumulative within a kind: a request that probes the cache
+// twice records the sum. Traces are meant to be pooled — see GetTrace.
+type Trace struct {
+	spans [NumSpans]atomic.Int64 // nanoseconds per span kind
+}
+
+// Add records d against span k. Negative durations and out-of-range
+// kinds are ignored; a nil receiver is a no-op.
+func (t *Trace) Add(k SpanKind, d time.Duration) {
+	if t == nil || k >= NumSpans || d <= 0 {
+		return
+	}
+	t.spans[k].Add(int64(d))
+}
+
+// Get returns the accumulated duration of span k (zero when never
+// recorded, or on a nil receiver).
+func (t *Trace) Get(k SpanKind) time.Duration {
+	if t == nil || k >= NumSpans {
+		return 0
+	}
+	return time.Duration(t.spans[k].Load())
+}
+
+// Sum returns the total duration across all spans.
+func (t *Trace) Sum() time.Duration {
+	if t == nil {
+		return 0
+	}
+	var total time.Duration
+	for k := SpanKind(0); k < NumSpans; k++ {
+		total += time.Duration(t.spans[k].Load())
+	}
+	return total
+}
+
+// Each calls yield for every span with a nonzero duration, in kind
+// order.
+func (t *Trace) Each(yield func(k SpanKind, d time.Duration)) {
+	if t == nil {
+		return
+	}
+	for k := SpanKind(0); k < NumSpans; k++ {
+		if d := time.Duration(t.spans[k].Load()); d > 0 {
+			yield(k, d)
+		}
+	}
+}
+
+// Reset zeroes every span so the trace can be reused.
+func (t *Trace) Reset() {
+	for k := range t.spans {
+		t.spans[k].Store(0)
+	}
+}
+
+var tracePool = sync.Pool{New: func() any { return new(Trace) }}
+
+// GetTrace returns a zeroed Trace from the pool. Return it with
+// PutTrace once nothing can touch it anymore — after the wire trace has
+// been assembled and the metrics observed. Pooling keeps the
+// per-request instrumentation cost at the one context allocation
+// required to carry the trace.
+func GetTrace() *Trace { return tracePool.Get().(*Trace) }
+
+// PutTrace resets t and returns it to the pool; nil is a no-op.
+func PutTrace(t *Trace) {
+	if t == nil {
+		return
+	}
+	t.Reset()
+	tracePool.Put(t)
+}
+
+type traceKey struct{}
+
+// NewContext returns ctx carrying the trace.
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. Combined with
+// the nil-safe Trace methods, instrumentation points need no presence
+// check.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// Request IDs: a per-process random prefix plus a monotone counter.
+// Unique across restarts (the prefix) and trivially unique within a
+// process (the counter), cheap to generate, and short enough for a log
+// field.
+var (
+	ridPrefix  = func() string { var b [4]byte; rand.Read(b[:]); return hex.EncodeToString(b[:]) }()
+	ridCounter atomic.Uint64
+)
+
+// NewRequestID returns a fresh request identifier, e.g. "9f2c1a07-42".
+func NewRequestID() string {
+	return ridPrefix + "-" + strconv.FormatUint(ridCounter.Add(1), 10)
+}
+
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying the request identifier.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request identifier carried by ctx,
+// or "".
+func RequestIDFromContext(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -5,6 +5,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
+
+	"chaseterm/internal/obs"
 )
 
 // verdictCache is a content-addressed result cache: canonical key (rule
@@ -53,25 +56,33 @@ func newVerdictCache(capacity int) *verdictCache {
 // ctx bounds only the waiting; the leader's fn is responsible for its
 // own cancellation.
 func (c *verdictCache) Do(ctx context.Context, key string, fn func() (any, error)) (val any, hit bool, err error) {
+	tr := obs.FromContext(ctx)
+	probe := time.Now()
 	c.mu.Lock()
 	if el, ok := c.items[key]; ok {
 		c.order.MoveToFront(el)
 		val = el.Value.(*cacheEntry).val
 		c.mu.Unlock()
+		tr.Add(obs.SpanCacheLookup, time.Since(probe))
 		return val, true, nil
 	}
 	if f, ok := c.inflight[key]; ok {
 		c.mu.Unlock()
+		tr.Add(obs.SpanCacheLookup, time.Since(probe))
+		wait := time.Now()
 		select {
 		case <-f.done:
+			tr.Add(obs.SpanSingleflightWait, time.Since(wait))
 			return f.val, f.err == nil, f.err
 		case <-ctx.Done():
+			tr.Add(obs.SpanSingleflightWait, time.Since(wait))
 			return nil, false, ctx.Err()
 		}
 	}
 	f := &flight{done: make(chan struct{})}
 	c.inflight[key] = f
 	c.mu.Unlock()
+	tr.Add(obs.SpanCacheLookup, time.Since(probe))
 
 	// The leader's bookkeeping runs under a defer: if fn panics, the
 	// inflight entry must still be removed and done must still close,

@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"chaseterm/api"
+	"chaseterm/internal/obs"
 )
 
 // maxBodyBytes bounds request bodies; rule sets are text and even the
@@ -33,52 +35,79 @@ const maxBodyBytes = 8 << 20
 //
 //	GET  /healthz
 //	GET  /v1/stats
+//	GET  /metrics   (Prometheus text exposition format)
+//
+// Every request is assigned a request ID — the client's X-Request-ID
+// header when present, a generated one otherwise — which is echoed as
+// the X-Request-ID response header, carried on error bodies, and used
+// in the server's structured logs.
 //
 // Status codes: client mistakes 400, oversized bodies 413, analyses
 // that exhausted their search budget 422, client hang-ups 499, engine
 // shutdown 503, job timeouts 504. v2 error bodies are the envelope
-// {"error": {"code": "...", "message": "..."}}; v1 error bodies remain
-// {"error": "..."} with the machine-readable "code" added alongside.
+// {"error": {"code": "...", "message": "..."}, "requestId": "..."}; v1
+// error bodies remain {"error": "..."} with the machine-readable
+// "code" and "requestId" added alongside.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("POST /v2/analyze", func(w http.ResponseWriter, r *http.Request) {
+		// The handler owns the request's trace so the decode span and
+		// the engine's spans land on the same record. Recycled only on
+		// success: an errored job may still be winding down on a worker
+		// with the trace in hand.
+		tr := obs.GetTrace()
+		ctx := obs.NewContext(r.Context(), tr)
 		var req api.AnalyzeRequest
-		if apiErr := decodeStrict(w, r, &req); apiErr != nil {
-			writeV2Error(w, apiErr)
+		t0 := time.Now()
+		apiErr := decodeStrict(w, r, &req)
+		tr.Add(obs.SpanDecode, time.Since(t0))
+		if apiErr != nil {
+			writeV2Error(w, r, apiErr)
+			obs.PutTrace(tr)
 			return
 		}
-		resp, err := e.Analyze(r.Context(), req)
+		resp, err := e.Analyze(ctx, req)
 		if err != nil {
-			writeV2Error(w, toAPIError(err))
+			writeV2Error(w, r, toAPIError(err))
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+		obs.PutTrace(tr)
 	})
 
 	mux.HandleFunc("POST /v2/batch", func(w http.ResponseWriter, r *http.Request) {
 		var body api.BatchRequest
 		if apiErr := decodeStrict(w, r, &body); apiErr != nil {
-			writeV2Error(w, apiErr)
+			writeV2Error(w, r, apiErr)
 			return
 		}
+		// No handler-owned trace here: the batch fans out into
+		// concurrent jobs, and each Engine.Analyze call creates its own.
 		results, err := e.AnalyzeBatch(r.Context(), body.Jobs)
 		if err != nil {
-			writeV2Error(w, toAPIError(err))
+			writeV2Error(w, r, toAPIError(err))
 			return
 		}
 		writeJSON(w, http.StatusOK, api.BatchResponse{Results: results})
 	})
 
 	mux.HandleFunc("POST /v2/chase/stream", func(w http.ResponseWriter, r *http.Request) {
+		tr := obs.GetTrace()
+		ctx := obs.NewContext(r.Context(), tr)
 		var req api.AnalyzeRequest
-		if apiErr := decodeStrict(w, r, &req); apiErr != nil {
-			writeV2Error(w, apiErr)
+		t0 := time.Now()
+		apiErr := decodeStrict(w, r, &req)
+		tr.Add(obs.SpanDecode, time.Since(t0))
+		if apiErr != nil {
+			writeV2Error(w, r, apiErr)
+			obs.PutTrace(tr)
 			return
 		}
 		flusher, ok := w.(http.Flusher)
 		if !ok {
-			writeV2Error(w, &api.Error{Code: api.CodeInternal, Message: "transport does not support streaming"})
+			writeV2Error(w, r, &api.Error{Code: api.CodeInternal, Message: "transport does not support streaming"})
+			obs.PutTrace(tr)
 			return
 		}
 		// emit is called synchronously from the producing job (the
@@ -100,8 +129,10 @@ func NewHandler(e *Engine) http.Handler {
 		// A non-nil error means the stream never started (nothing was
 		// emitted) and the failure is reported at the transport level;
 		// mid-stream failures arrive as terminal "error" events instead.
-		if err := e.ChaseStream(r.Context(), req, emit); err != nil {
-			writeV2Error(w, toAPIError(err))
+		// ChaseStream recycles the trace itself (its DoSync barrier makes
+		// that safe on every path), so no PutTrace here.
+		if err := e.ChaseStream(ctx, req, emit); err != nil {
+			writeV2Error(w, r, toAPIError(err))
 		}
 	})
 
@@ -113,12 +144,12 @@ func NewHandler(e *Engine) http.Handler {
 			Jobs []Request `json:"jobs"`
 		}
 		if apiErr := decodeStrict(w, r, &body); apiErr != nil {
-			writeV1Error(w, apiErr)
+			writeV1Error(w, r, apiErr)
 			return
 		}
 		resps, err := e.Batch(r.Context(), body.Jobs)
 		if err != nil {
-			writeV1Error(w, toAPIError(err))
+			writeV1Error(w, r, toAPIError(err))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"results": resps})
@@ -130,7 +161,28 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.StatsSnapshot())
 	})
-	return mux
+	mux.Handle("GET /metrics", e.MetricsHandler())
+	return withRequestID(mux)
+}
+
+// MetricsHandler serves the engine's metrics in the Prometheus text
+// exposition format; NewHandler mounts it as GET /metrics.
+func (e *Engine) MetricsHandler() http.Handler { return e.metrics.reg }
+
+// withRequestID assigns every request its identifier: the client's
+// X-Request-ID when present (so IDs propagate through proxies and
+// multi-hop call chains), a generated one otherwise. The ID is echoed
+// as a response header and carried down the context for the engine's
+// logs and traces.
+func withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		next.ServeHTTP(w, r.WithContext(obs.WithRequestID(r.Context(), id)))
+	})
 }
 
 // jobHandler serves one v1 single-job route. The route implies the
@@ -141,18 +193,18 @@ func jobHandler(e *Engine, kind Kind) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		var req Request
 		if apiErr := decodeStrict(w, r, &req); apiErr != nil {
-			writeV1Error(w, apiErr)
+			writeV1Error(w, r, apiErr)
 			return
 		}
 		if req.Kind != "" && req.Kind != kind {
 			err := fmt.Errorf("%w: body kind %q contradicts route kind %q", ErrKindMismatch, req.Kind, kind)
-			writeV1Error(w, toAPIError(err))
+			writeV1Error(w, r, toAPIError(err))
 			return
 		}
 		req.Kind = kind
 		resp, err := e.Do(r.Context(), req)
 		if err != nil {
-			writeV1Error(w, toAPIError(err))
+			writeV1Error(w, r, toAPIError(err))
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
@@ -202,19 +254,28 @@ func isSyntaxError(err error) bool {
 	return errors.As(err, &syn)
 }
 
-// writeV2Error writes the versioned error envelope.
-func writeV2Error(w http.ResponseWriter, apiErr *api.Error) {
-	writeJSON(w, apiErr.Code.HTTPStatus(), api.ErrorEnvelope{Error: apiErr})
+// writeV2Error writes the versioned error envelope, carrying the
+// request's ID so a client can quote it against the server's logs.
+func writeV2Error(w http.ResponseWriter, r *http.Request, apiErr *api.Error) {
+	writeJSON(w, apiErr.Code.HTTPStatus(), api.ErrorEnvelope{
+		Error:     apiErr,
+		RequestID: obs.RequestIDFromContext(r.Context()),
+	})
 }
 
 // writeV1Error writes the flat v1 error body. The "error" string is the
-// original contract; the "code" field is an additive improvement so v1
-// clients can branch on the error class too.
-func writeV1Error(w http.ResponseWriter, apiErr *api.Error) {
-	writeJSON(w, apiErr.Code.HTTPStatus(), map[string]string{
+// original contract; the "code" and "requestId" fields are additive
+// improvements so v1 clients can branch on the error class and quote
+// the request in bug reports.
+func writeV1Error(w http.ResponseWriter, r *http.Request, apiErr *api.Error) {
+	body := map[string]string{
 		"error": apiErr.Message,
 		"code":  string(apiErr.Code),
-	})
+	}
+	if id := obs.RequestIDFromContext(r.Context()); id != "" {
+		body["requestId"] = id
+	}
+	writeJSON(w, apiErr.Code.HTTPStatus(), body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

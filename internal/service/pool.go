@@ -6,6 +6,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"chaseterm/internal/obs"
 )
 
 // ErrClosed is returned for work submitted after the pool shut down.
@@ -27,6 +31,10 @@ type workerPool struct {
 	jobs chan poolJob
 	stop chan struct{}
 	wg   sync.WaitGroup
+
+	// queued counts callers blocked in submit waiting for a worker to
+	// pick their job up — the pool's queue depth, exported as a gauge.
+	queued atomic.Int64
 
 	closeOnce sync.Once
 }
@@ -131,13 +139,22 @@ func (p *workerPool) DoSync(ctx context.Context, fn func(context.Context) (any, 
 
 func (p *workerPool) submit(ctx context.Context, fn func(context.Context) (any, error), sync bool) (any, error) {
 	j := poolJob{ctx: ctx, fn: fn, res: make(chan outcome, 1), sync: sync}
+	enq := time.Now()
+	p.queued.Add(1)
 	select {
 	case p.jobs <- j:
+		p.queued.Add(-1)
 	case <-ctx.Done():
+		p.queued.Add(-1)
+		obs.FromContext(ctx).Add(obs.SpanQueueWait, time.Since(enq))
 		return nil, ctx.Err()
 	case <-p.stop:
+		p.queued.Add(-1)
 		return nil, ErrClosed
 	}
+	// The handoff succeeding means a worker took the job: queue wait
+	// ends here, execution starts on the worker.
+	obs.FromContext(ctx).Add(obs.SpanQueueWait, time.Since(enq))
 	o := <-j.res
 	return o.val, o.err
 }

@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"strings"
 	"sync"
@@ -26,6 +27,7 @@ import (
 
 	"chaseterm"
 	"chaseterm/api"
+	"chaseterm/internal/obs"
 )
 
 // ErrBadRequest wraps client errors (malformed rules, unknown variant,
@@ -70,16 +72,28 @@ type Options struct {
 	// carries the job's deadline, and ignoring it keeps a worker slot
 	// pinned after the client's request has already failed.
 	DecideFunc func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
+
+	// Logger, when set, receives one structured completion record per
+	// job: request ID, kind, fingerprint, verdict or outcome, cache
+	// result, queue/exec durations, and the error code on failure. Nil
+	// disables request logging (the default — library users opt in,
+	// cmd/chased always sets one).
+	Logger *slog.Logger
+	// SlowRequest raises the completion record of any request whose
+	// total time reaches the threshold to WARN with slow=true; zero
+	// disables the check.
+	SlowRequest time.Duration
 }
 
 // Engine runs analysis jobs concurrently with caching and admission
 // control. Create with New, release with Close.
 type Engine struct {
-	opts   Options
-	cache  *verdictCache
-	pool   *workerPool
-	stats  *Stats
-	decide func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
+	opts    Options
+	cache   *verdictCache
+	pool    *workerPool
+	stats   *Stats
+	metrics *metrics
+	decide  func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
 
 	facade chaseterm.Analyzer
 }
@@ -104,6 +118,7 @@ func New(opts Options) *Engine {
 		pool:  newWorkerPool(opts.Workers),
 		stats: newStats(),
 	}
+	e.metrics = newMetrics(e)
 	e.decide = opts.DecideFunc
 	if e.decide == nil {
 		e.decide = func(ctx context.Context, rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions) (*chaseterm.Verdict, error) {
@@ -131,17 +146,129 @@ func (e *Engine) Stats() *Stats { return e.stats }
 // StatsSnapshot captures the counters for serialization.
 func (e *Engine) StatsSnapshot() Snapshot { return e.stats.snapshot(e.cache.Len()) }
 
+// beginRequest starts the per-request instrumentation: it ensures the
+// context carries an obs.Trace (creating a pooled one when the caller —
+// a batch fan-out, a v1 route, a direct library call — did not), and
+// returns the trace plus whether this call owns it and must recycle it.
+func (e *Engine) beginRequest(ctx context.Context) (context.Context, *obs.Trace, bool) {
+	tr := obs.FromContext(ctx)
+	if tr != nil {
+		return ctx, tr, false
+	}
+	tr = obs.GetTrace()
+	return obs.NewContext(ctx, tr), tr, true
+}
+
+// endRequest finishes the per-request instrumentation: it splits the
+// wall time into queue wait (pool admission + singleflight wait) and
+// execution, and feeds both the /v1/stats windows and the endpoint's
+// Prometheus histograms.
+func (e *Engine) endRequest(endpoint string, tr *obs.Trace, total time.Duration, failed bool) (queue, exec time.Duration) {
+	queue = tr.Get(obs.SpanQueueWait) + tr.Get(obs.SpanSingleflightWait)
+	exec = total - queue
+	if exec < 0 {
+		exec = 0
+	}
+	e.stats.observe(queue, exec, failed)
+	e.metrics.observeRequest(endpoint, queue, exec)
+	return queue, exec
+}
+
 // Analyze runs one analysis job to completion and returns its response
 // in the v2 wire model. Client mistakes are reported as ErrBadRequest
 // wrappers; an expired per-job timeout or caller context surfaces as
 // the context error.
 func (e *Engine) Analyze(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
+	ctx, tr, owned := e.beginRequest(ctx)
 	e.stats.inFlight.Add(1)
 	start := time.Now()
 	resp, err := e.dispatch(ctx, req)
 	e.stats.inFlight.Add(-1)
-	e.stats.observe(time.Since(start), err != nil)
+	total := time.Since(start)
+	queue, exec := e.endRequest(endpointAnalyze, tr, total, err != nil)
+	if resp != nil {
+		// respFromReport pre-populates resp.Trace with the engine
+		// counters of a chase run; fold them into the fleet totals, then
+		// either complete the wire trace or drop it when not requested.
+		if resp.Trace != nil && resp.Trace.Engine != nil {
+			en := resp.Trace.Engine
+			e.metrics.addEngine(en.TriggersApplied, en.TriggersNoop, en.TriggersSatisfied, en.FactsAdded)
+		}
+		if req.Trace {
+			completeTrace(ctx, resp, tr, total)
+		} else {
+			resp.Trace = nil
+		}
+	}
+	e.logRequest(ctx, endpointAnalyze, req.Kind, resp, err, queue, exec, total)
+	if owned && err == nil {
+		// On an error path the underlying job may still be winding down
+		// on a worker (timeouts, cancellations) with the context — and
+		// the trace — in hand; recycling it then would let a late span
+		// land on an unrelated request. Let the GC have those.
+		obs.PutTrace(tr)
+	}
 	return resp, err
+}
+
+// completeTrace turns the accumulated spans into the wire-level trace
+// of a traced response. WallMillis covers the whole server-side life of
+// the request: the decode span is recorded by the HTTP layer before the
+// engine's clock starts, so it is added on top of total.
+func completeTrace(ctx context.Context, resp *api.AnalyzeResponse, tr *obs.Trace, total time.Duration) {
+	wire := resp.Trace
+	if wire == nil {
+		wire = &api.Trace{}
+		resp.Trace = wire
+	}
+	wire.RequestID = obs.RequestIDFromContext(ctx)
+	wire.WallMillis = millis(total + tr.Get(obs.SpanDecode))
+	tr.Each(func(k obs.SpanKind, d time.Duration) {
+		wire.Spans = append(wire.Spans, api.Span{Name: k.String(), Millis: millis(d)})
+	})
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// logRequest emits the one structured completion record of a job.
+func (e *Engine) logRequest(ctx context.Context, endpoint string, kind api.Kind, resp *api.AnalyzeResponse, err error, queue, exec, total time.Duration) {
+	log := e.opts.Logger
+	if log == nil {
+		return
+	}
+	slow := e.opts.SlowRequest > 0 && total >= e.opts.SlowRequest
+	attrs := make([]slog.Attr, 0, 10)
+	attrs = append(attrs,
+		slog.String("requestId", obs.RequestIDFromContext(ctx)),
+		slog.String("endpoint", endpoint),
+		slog.String("kind", string(kind)),
+		slog.Float64("queueMillis", millis(queue)),
+		slog.Float64("execMillis", millis(exec)),
+	)
+	if resp != nil {
+		if resp.Fingerprint != "" {
+			attrs = append(attrs, slog.String("fingerprint", resp.Fingerprint))
+		}
+		if resp.Decision != nil {
+			attrs = append(attrs, slog.String("verdict", resp.Decision.Terminates))
+		}
+		if resp.Chase != nil {
+			attrs = append(attrs, slog.String("outcome", resp.Chase.Outcome))
+		}
+		if kind == api.KindDecide {
+			attrs = append(attrs, slog.Bool("cached", resp.Cached))
+		}
+	}
+	level := slog.LevelInfo
+	if slow {
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.Bool("slow", true))
+	}
+	if err != nil {
+		level = slog.LevelWarn
+		attrs = append(attrs, slog.String("code", string(toAPIError(err).Code)), slog.String("error", err.Error()))
+	}
+	log.LogAttrs(ctx, level, "request", attrs...)
 }
 
 func (e *Engine) dispatch(ctx context.Context, req api.AnalyzeRequest) (*api.AnalyzeResponse, error) {
@@ -219,7 +346,27 @@ func respFromReport(kind api.Kind, rep *chaseterm.Report, includeFacts bool) *ap
 	if rep.Acyclicity != nil {
 		resp.Acyclicity = apiAcyclicity(rep.Acyclicity)
 	}
+	if rep.Engine != nil {
+		// Provisional: Analyze folds these counters into the Prometheus
+		// totals and then either completes the trace (trace requested)
+		// or strips it from the response.
+		resp.Trace = &api.Trace{Engine: apiEngineStats(rep.Engine)}
+	}
 	return resp
+}
+
+// apiEngineStats converts the facade's engine counter set to its wire
+// form.
+func apiEngineStats(s *chaseterm.EngineStats) *api.EngineStats {
+	return &api.EngineStats{
+		InitialFacts:      s.InitialFacts,
+		FactsAdded:        s.FactsAdded,
+		TriggersApplied:   s.TriggersApplied,
+		TriggersNoop:      s.TriggersNoop,
+		TriggersSatisfied: s.TriggersSatisfied,
+		TriggersEnqueued:  s.TriggersEnqueued,
+		MaxTermDepth:      s.MaxTermDepth,
+	}
 }
 
 func intp(v int) *int { return &v }

@@ -24,12 +24,17 @@ type Stats struct {
 	streamsAborted atomic.Int64
 	streamFacts    atomic.Int64
 
-	lat latencyWindow
+	// Queue wait (worker-pool admission + singleflight wait) and
+	// execution time are windowed separately: conflating them made a
+	// saturated pool indistinguishable from slow analyses.
+	latQueue latencyWindow
+	latExec  latencyWindow
 }
 
 func newStats() *Stats {
 	s := &Stats{start: time.Now()}
-	s.lat.init(1024)
+	s.latQueue.init(1024)
+	s.latExec.init(1024)
 	return s
 }
 
@@ -42,8 +47,17 @@ type Snapshot struct {
 	InFlight      int64   `json:"inFlight"`
 	JobsServed    int64   `json:"jobsServed"`
 	JobsFailed    int64   `json:"jobsFailed"`
-	P50Millis     float64 `json:"p50Millis"`
-	P99Millis     float64 `json:"p99Millis"`
+	// P50Millis/P99Millis predate the queue/exec split and remain the
+	// sum of the two windows' quantiles — the same "whole request"
+	// reading they always gave, so existing dashboards keep working.
+	P50Millis float64 `json:"p50Millis"`
+	P99Millis float64 `json:"p99Millis"`
+	// The split windows: time waiting for a worker slot or a
+	// deduplicated flight vs. time actually computing.
+	QueueP50Millis float64 `json:"queueP50Millis"`
+	QueueP99Millis float64 `json:"queueP99Millis"`
+	ExecP50Millis  float64 `json:"execP50Millis"`
+	ExecP99Millis  float64 `json:"execP99Millis"`
 
 	// Streams counts chase-stream requests that entered the engine;
 	// StreamsAborted the subset canceled mid-run (client disconnects);
@@ -160,12 +174,13 @@ func (w *latencyWindow) quantiles() (p50, p99 time.Duration) {
 	return sample[idx(0.50)], sample[idx(0.99)]
 }
 
-func (s *Stats) observe(d time.Duration, failed bool) {
+func (s *Stats) observe(queue, exec time.Duration, failed bool) {
 	s.jobsServed.Add(1)
 	if failed {
 		s.jobsFailed.Add(1)
 	}
-	s.lat.record(d)
+	s.latQueue.record(queue)
+	s.latExec.record(exec)
 }
 
 // InFlight returns the number of requests currently inside the engine,
@@ -194,8 +209,10 @@ func (s *Stats) StreamsAborted() int64 { return s.streamsAborted.Load() }
 func (s *Stats) StreamFacts() int64 { return s.streamFacts.Load() }
 
 func (s *Stats) snapshot(cacheEntries int) Snapshot {
-	p50, p99 := s.lat.quantiles()
+	q50, q99 := s.latQueue.quantiles()
+	x50, x99 := s.latExec.quantiles()
 	uptime := time.Since(s.start)
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return Snapshot{
 		UptimeSeconds:  uptime.Seconds(),
 		Runtime:        readRuntimeStats(uptime),
@@ -205,8 +222,12 @@ func (s *Stats) snapshot(cacheEntries int) Snapshot {
 		InFlight:       s.inFlight.Load(),
 		JobsServed:     s.jobsServed.Load(),
 		JobsFailed:     s.jobsFailed.Load(),
-		P50Millis:      float64(p50) / float64(time.Millisecond),
-		P99Millis:      float64(p99) / float64(time.Millisecond),
+		P50Millis:      ms(q50 + x50),
+		P99Millis:      ms(q99 + x99),
+		QueueP50Millis: ms(q50),
+		QueueP99Millis: ms(q99),
+		ExecP50Millis:  ms(x50),
+		ExecP99Millis:  ms(x99),
 		Streams:        s.streams.Load(),
 		StreamsAborted: s.streamsAborted.Load(),
 		StreamFacts:    s.streamFacts.Load(),

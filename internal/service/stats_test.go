@@ -74,7 +74,7 @@ func TestLatencyQuantilesNearestRank(t *testing.T) {
 
 func TestSnapshotRuntimeCounters(t *testing.T) {
 	s := newStats()
-	s.observe(5*time.Millisecond, false)
+	s.observe(2*time.Millisecond, 3*time.Millisecond, false)
 	snap := s.snapshot(0)
 	rt := snap.Runtime
 	if rt.HeapAllocBytes == 0 || rt.TotalAllocBytes == 0 || rt.Mallocs == 0 {

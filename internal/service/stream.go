@@ -8,6 +8,7 @@ import (
 
 	"chaseterm"
 	"chaseterm/api"
+	"chaseterm/internal/obs"
 )
 
 // streamRelay bridges the library's ChaseSink to the wire: every batch
@@ -73,12 +74,19 @@ func (e *Engine) ChaseStream(ctx context.Context, req api.AnalyzeRequest, emit f
 		return err
 	}
 
+	ctx, tr, owned := e.beginRequest(ctx)
 	e.stats.inFlight.Add(1)
 	defer e.stats.inFlight.Add(-1)
 	e.stats.streams.Add(1)
 	start := time.Now()
 
-	relay := &streamRelay{emit: emit, stats: e.stats}
+	// Every event — batches, heartbeats, terminals — counts once on the
+	// stream-events series.
+	counted := func(ev api.StreamEvent) {
+		e.metrics.streamEvents.Add(1)
+		emit(ev)
+	}
+	relay := &streamRelay{emit: counted, stats: e.stats}
 	opts = append(opts, chaseterm.WithChaseSink(relay))
 
 	jctx, cancel := context.WithTimeout(ctx, e.opts.JobTimeout)
@@ -90,11 +98,22 @@ func (e *Engine) ChaseStream(ctx context.Context, req api.AnalyzeRequest, emit f
 	val, runErr := e.pool.DoSync(jctx, func(ctx context.Context) (any, error) {
 		return e.facade.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules, opts...))
 	})
-	e.stats.observe(time.Since(start), runErr != nil)
+	total := time.Since(start)
+	queue, exec := e.endRequest(endpointStream, tr, total, runErr != nil)
+	if rep, ok := val.(*chaseterm.Report); ok && rep != nil && rep.Engine != nil {
+		e.metrics.addEngine(rep.Engine.TriggersApplied, rep.Engine.TriggersNoop,
+			rep.Engine.TriggersSatisfied, rep.Engine.FactsAdded)
+	}
+	e.logRequest(ctx, endpointStream, api.KindChase, streamLogResponse(val), runErr, queue, exec, total)
+	// DoSync guarantees the producer has returned, so nothing can still
+	// record into the trace — safe to recycle even on error paths.
+	if owned {
+		defer obs.PutTrace(tr)
+	}
 
 	if runErr == nil {
 		rep := val.(*chaseterm.Report)
-		emit(api.StreamEvent{
+		counted(api.StreamEvent{
 			Event:   api.StreamDone,
 			Outcome: rep.Chase.Outcome.String(),
 			Stats:   apiChaseStats(rep.Chase.Stats),
@@ -122,6 +141,21 @@ func (e *Engine) ChaseStream(ctx context.Context, req api.AnalyzeRequest, emit f
 		ev.Outcome = partial.Chase.Outcome.String()
 		ev.Stats = apiChaseStats(partial.Chase.Stats)
 	}
-	emit(ev)
+	counted(ev)
 	return nil
+}
+
+// streamLogResponse distills whatever report the producer returned —
+// complete or partial — into the response shape logRequest reads its
+// fingerprint and outcome fields from.
+func streamLogResponse(val any) *api.AnalyzeResponse {
+	rep, ok := val.(*chaseterm.Report)
+	if !ok || rep == nil {
+		return nil
+	}
+	resp := &api.AnalyzeResponse{Kind: api.KindChase, Fingerprint: rep.Fingerprint}
+	if rep.Chase != nil {
+		resp.Chase = &api.ChaseRun{Outcome: rep.Chase.Outcome.String()}
+	}
+	return resp
 }
