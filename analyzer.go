@@ -88,6 +88,9 @@ type Request struct {
 	renderFacts    bool
 	withAcyclicity bool
 	sink           ChaseSink
+	// portfolio, when set, routes the all-instance AnalyzeDecide through
+	// the termination portfolio (WithPortfolio).
+	portfolio *PortfolioOptions
 }
 
 // Variant returns the chase variant the request targets (default
@@ -233,6 +236,10 @@ type Report struct {
 	// Acyclicity is the positional-criteria report (AnalyzeAcyclicity or
 	// WithAcyclicity).
 	Acyclicity *AcyclicityReport
+	// Portfolio is the provenance of a portfolio decision — which rung
+	// decided and the per-rung trace (AnalyzeDecide with WithPortfolio,
+	// all-instance only).
+	Portfolio *PortfolioReport
 
 	// Timings breaks the call's wall time into stages; always populated.
 	Timings Timings
@@ -311,9 +318,12 @@ func (Analyzer) analyze(ctx context.Context, req Request) (*Report, error) {
 		var verdict *Verdict
 		var err error
 		stage = time.Now()
-		if req.database != nil {
+		switch {
+		case req.database != nil:
 			verdict, err = decideOnDatabase(ctx, req.database, req.Rules, req.Variant(), req.decideOpts)
-		} else {
+		case req.portfolio != nil:
+			verdict, rep.Portfolio, err = decidePortfolio(ctx, req.Rules, req.Variant(), req.decideOpts, *req.portfolio)
+		default:
 			verdict, err = decideTermination(ctx, req.Rules, req.Variant(), req.decideOpts)
 		}
 		rep.Timings.Decide = time.Since(stage)

@@ -77,6 +77,18 @@ type AnalyzeRequest struct {
 	// response, whatever the kind.
 	WithAcyclicity bool `json:"withAcyclicity,omitempty"`
 
+	// Portfolio routes an all-instance decide through the termination
+	// portfolio: the ladder of cheap sound criteria runs before the
+	// exact deciders, and the decision reports which rung decided
+	// (Decision.DecidedBy, Decision.Rungs). Ignored when a database is
+	// attached. Servers that predate the portfolio reject the field;
+	// probe GET /v2/capabilities first.
+	Portfolio bool `json:"portfolio,omitempty"`
+	// PortfolioRace additionally races the applicable exact deciders in
+	// parallel, first decisive verdict wins. Implies nothing without
+	// Portfolio.
+	PortfolioRace bool `json:"portfolioRace,omitempty"`
+
 	// Trace attaches the per-request observability report — per-stage
 	// durations and engine counters — to the response (see Trace).
 	Trace bool `json:"trace,omitempty"`
@@ -138,6 +150,28 @@ type Decision struct {
 	// SearchSpace is the explored abstraction size (shapes or node
 	// types).
 	SearchSpace int `json:"searchSpace"`
+
+	// DecidedBy names the portfolio rung whose verdict this decision
+	// adopted; present only on portfolio decisions.
+	DecidedBy string `json:"decidedBy,omitempty"`
+	// Raced reports that the exact deciders ran as a cancellation race.
+	Raced bool `json:"raced,omitempty"`
+	// Rungs traces every portfolio rung that ran, in completion order.
+	Rungs []Rung `json:"rungs,omitempty"`
+}
+
+// Rung is one portfolio rung's entry in a decision trace.
+type Rung struct {
+	// Name is the stable rung label ("weak-acyclicity", "mfa",
+	// "guarded-exact", …).
+	Name string `json:"name"`
+	// Verdict is the rung's own answer: "terminating",
+	// "non-terminating", or "undecided".
+	Verdict string `json:"verdict"`
+	// Millis is the rung's wall time in milliseconds.
+	Millis float64 `json:"millis"`
+	// Canceled marks a racing loser stopped by the winner.
+	Canceled bool `json:"canceled,omitempty"`
 }
 
 // ChaseRun is the result of a bounded chase run.
@@ -169,9 +203,26 @@ type Acyclicity struct {
 	WeaklyAcyclic  bool `json:"weaklyAcyclic"`
 	JointlyAcyclic bool `json:"jointlyAcyclic"`
 	// RAWitness / WAWitness describe a dangerous cycle when the
-	// corresponding check fails.
+	// corresponding check fails; JAWitness the feeds cycle over
+	// existential variables.
 	RAWitness string `json:"raWitness,omitempty"`
 	WAWitness string `json:"waWitness,omitempty"`
+	JAWitness string `json:"jaWitness,omitempty"`
+}
+
+// Capabilities is the body of GET /v2/capabilities: the feature set of
+// the serving binary, so clients can discover optional request fields
+// (the v2 decoder is strict and rejects unknown ones) before using
+// them.
+type Capabilities struct {
+	// Version is the wire version of this contract ("v2").
+	Version string `json:"version"`
+	// Portfolio reports that decide requests accept the "portfolio" and
+	// "portfolioRace" fields.
+	Portfolio bool `json:"portfolio"`
+	// PortfolioRungs lists the portfolio's rung names in ladder order —
+	// the label set of the per-rung counters in /metrics and /v1/stats.
+	PortfolioRungs []string `json:"portfolioRungs,omitempty"`
 }
 
 // BatchRequest is the body of POST /v2/batch: an ordered list of jobs,

@@ -39,6 +39,8 @@ func goldenCases() []struct {
 			MaxDepth:       5,
 			ReturnFacts:    true,
 			WithAcyclicity: true,
+			Portfolio:      true,
+			PortfolioRace:  true,
 			Trace:          true,
 		}},
 		{"analyze_response_classify.json", &AnalyzeResponse{
@@ -95,9 +97,41 @@ func goldenCases() []struct {
 			Acyclicity: &Acyclicity{
 				RichlyAcyclic:  false,
 				WeaklyAcyclic:  false,
-				JointlyAcyclic: true,
+				JointlyAcyclic: false,
 				RAWitness:      "special cycle through q[2]",
 				WAWitness:      "dangerous cycle through q[2]",
+				JAWitness:      "feeds cycle (joint): rule#1:Y -> rule#1:Y",
+			},
+		}},
+		{"analyze_response_portfolio.json", &AnalyzeResponse{
+			Kind:        KindDecide,
+			Fingerprint: "2f7a000000000000000000000000000000000000000000000000000000000000",
+			Class:       "linear",
+			NumRules:    intp(2),
+			MaxArity:    intp(2),
+			Predicates:  []string{"p/2", "q/2"},
+			Decision: &Decision{
+				Terminates:  "terminating",
+				Class:       "linear",
+				Method:      "critical-weak-acyclicity",
+				SearchSpace: 9,
+				DecidedBy:   "linear-exact",
+				Raced:       true,
+				Rungs: []Rung{
+					{Name: "weak-acyclicity", Verdict: "undecided", Millis: 0.02},
+					{Name: "joint-acyclicity", Verdict: "undecided", Millis: 0.03},
+					{Name: "mfa", Verdict: "undecided", Millis: 1.4},
+					{Name: "linear-exact", Verdict: "terminating", Millis: 2.1},
+					{Name: "guarded-exact", Verdict: "undecided", Millis: 2.2, Canceled: true},
+				},
+			},
+		}},
+		{"capabilities.json", &Capabilities{
+			Version:   "v2",
+			Portfolio: true,
+			PortfolioRungs: []string{
+				"rich-acyclicity", "weak-acyclicity", "joint-acyclicity",
+				"mfa", "critical-saturation", "linear-exact", "guarded-exact",
 			},
 		}},
 		{"batch_request.json", &BatchRequest{

@@ -790,10 +790,12 @@ type AcyclicityReport struct {
 	RichlyAcyclic  bool
 	WeaklyAcyclic  bool
 	JointlyAcyclic bool
-	// RAWitness / WAWitness describe a dangerous cycle when the
-	// corresponding check fails.
+	// RAWitness / WAWitness / JAWitness describe a dangerous cycle when
+	// the corresponding check fails (for joint acyclicity: a feeds cycle
+	// over existential variables).
 	RAWitness string
 	WAWitness string
+	JAWitness string
 }
 
 // CheckAcyclicity evaluates the positional acyclicity criteria on the rule
@@ -803,6 +805,15 @@ type AcyclicityReport struct {
 // rules) — or attach WithAcyclicity() to any other request — instead.
 func CheckAcyclicity(rules *RuleSet) AcyclicityReport {
 	return checkAcyclicity(rules)
+}
+
+// IsJointlyAcyclicBool reports whether the rule set is jointly acyclic.
+//
+// Deprecated: Use CheckAcyclicity — or Analyzer.Analyze with
+// AnalyzeAcyclicity — whose report carries the verdict together with
+// the feeds-cycle witness (AcyclicityReport.JointlyAcyclic/JAWitness).
+func IsJointlyAcyclicBool(rules *RuleSet) bool {
+	return acyclicity.IsJointlyAcyclicBool(rules.rs)
 }
 
 // checkAcyclicity is the positional-criteria evaluation behind
@@ -818,7 +829,10 @@ func checkAcyclicity(rules *RuleSet) AcyclicityReport {
 	if w != nil {
 		rep.WAWitness = w.String()
 	}
-	rep.JointlyAcyclic = acyclicity.IsJointlyAcyclic(rules.rs)
+	rep.JointlyAcyclic, w = acyclicity.IsJointlyAcyclic(rules.rs)
+	if w != nil {
+		rep.JAWitness = w.String()
+	}
 	return rep
 }
 

@@ -208,6 +208,33 @@ func (c *Client) streamOnce(ctx context.Context, body []byte, onEvent func(api.S
 	}
 }
 
+// Capabilities fetches the server's feature set (GET /v2/capabilities),
+// so callers can discover optional request fields — the server's strict
+// decoder rejects unknown ones — before using them. A server that
+// predates the endpoint answers 404; that surfaces as a typed
+// *api.Error whose HTTPStatus is 404, which callers should read as "no
+// optional features". The answer is a property of the server binary and
+// may be cached for the connection's lifetime.
+func (c *Client) Capabilities(ctx context.Context) (*api.Capabilities, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v2/capabilities", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, decodeError(resp)
+	}
+	var out api.Capabilities
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("client: decoding capabilities: %w", err)
+	}
+	return &out, nil
+}
+
 // Healthy reports whether the server answers its liveness probe.
 func (c *Client) Healthy(ctx context.Context) error {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/healthz", nil)

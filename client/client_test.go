@@ -314,3 +314,44 @@ func TestHealthy(t *testing.T) {
 		t.Fatal("health check against a 404 passed")
 	}
 }
+
+func TestCapabilities(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v2/capabilities" || r.Method != http.MethodGet {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		json.NewEncoder(w).Encode(api.Capabilities{ //nolint:errcheck
+			Version:        api.Version,
+			Portfolio:      true,
+			PortfolioRungs: []string{"weak-acyclicity", "guarded-exact"},
+		})
+	}))
+	defer srv.Close()
+
+	caps, err := New(srv.URL).Capabilities(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if caps.Version != api.Version || !caps.Portfolio || len(caps.PortfolioRungs) != 2 {
+		t.Errorf("got %+v", caps)
+	}
+}
+
+// TestCapabilitiesAgainstOldServer: a server that predates the endpoint
+// answers 404; that must surface as a typed *api.Error so callers can
+// distinguish "no optional features" from a transport failure.
+func TestCapabilitiesAgainstOldServer(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}))
+	defer srv.Close()
+
+	_, err := New(srv.URL).Capabilities(context.Background())
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err %T %v, want *api.Error", err, err)
+	}
+	if apiErr.HTTPStatus != http.StatusNotFound {
+		t.Errorf("HTTPStatus = %d, want 404", apiErr.HTTPStatus)
+	}
+}

@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	chase [-variant o|so|r] [-max-triggers N] [-max-facts N] [-print] [-stream] [-stats] rules.dl db.dl
+//	chase [-variant o|so|r] [-max-triggers N] [-max-facts N] [-print] [-stream] [-stats] [-precheck] rules.dl db.dl
 //
 // Files use the Datalog± syntax of the library: `body -> head.` rules with
 // upper-case variables, and ground facts `p(a,b).`. The tool prints run
@@ -33,6 +33,7 @@ func main() {
 	printFacts := flag.Bool("print", false, "print the final instance")
 	stream := flag.Bool("stream", false, "print derived facts incrementally as the run produces them")
 	stats := flag.Bool("stats", false, "print per-stage timings and engine counters from the report")
+	precheck := flag.Bool("precheck", false, "run the termination portfolio on the rules before chasing and report whether the run is guaranteed to terminate")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chase [flags] rules.dl db.dl\n")
 		flag.PrintDefaults()
@@ -50,7 +51,7 @@ func main() {
 	// Ctrl-C force-kills even while -print renders a huge partial
 	// instance.
 	go func() { <-ctx.Done(); stop() }()
-	if err := run(ctx, *variant, flag.Arg(0), flag.Arg(1), *maxTriggers, *maxFacts, *printFacts, *stream, *stats); err != nil {
+	if err := run(ctx, *variant, flag.Arg(0), flag.Arg(1), *maxTriggers, *maxFacts, *printFacts, *stream, *stats, *precheck); err != nil {
 		if errors.Is(err, context.Canceled) {
 			// Partial stats were already printed; exit with the
 			// conventional interrupted status so wrappers stop too.
@@ -73,7 +74,7 @@ func (printSink) EmitFacts(facts []string, _ chaseterm.ChaseStats) {
 
 func (printSink) Progress(chaseterm.ChaseStats) {}
 
-func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, printFacts, stream, stats bool) error {
+func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers, maxFacts int, printFacts, stream, stats, precheck bool) error {
 	v, err := chaseterm.ParseVariant(variantName)
 	if err != nil {
 		return err
@@ -96,6 +97,12 @@ func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers
 	}
 	fmt.Printf("rules: %d (%s), database: %d facts, variant: %s\n",
 		rules.NumRules(), rules.Classify(), db.Size(), v)
+	var analyzer chaseterm.Analyzer
+	if precheck {
+		if err := runPrecheck(ctx, &analyzer, rules, v); err != nil {
+			return err
+		}
+	}
 	opts := []chaseterm.RequestOption{
 		chaseterm.WithDatabase(db),
 		chaseterm.WithVariant(v),
@@ -107,7 +114,6 @@ func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers
 	if stream {
 		opts = append(opts, chaseterm.WithChaseSink(printSink{}))
 	}
-	var analyzer chaseterm.Analyzer
 	rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeChase, rules, opts...))
 	if rep == nil {
 		return err
@@ -139,6 +145,28 @@ func run(ctx context.Context, variantName, rulesPath, dbPath string, maxTriggers
 	// are the partial picture, and the caller still needs to see the
 	// interruption (a wrapper script must not mistake it for success).
 	return err
+}
+
+// runPrecheck runs the all-instance termination portfolio on the rules
+// before any chasing, so the user learns up front whether the run ahead
+// is guaranteed to finish or is gambling against the trigger budget.
+// The answer is advisory: "non-terminating" and "unknown" speak about
+// SOME database, so the chase still runs — this database may be fine.
+func runPrecheck(ctx context.Context, analyzer *chaseterm.Analyzer, rules *chaseterm.RuleSet, v chaseterm.Variant) error {
+	rep, err := analyzer.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithVariant(v), chaseterm.WithPortfolio(chaseterm.PortfolioOptions{})))
+	if err != nil {
+		return err
+	}
+	decidedBy := ""
+	if rep.Portfolio != nil && rep.Portfolio.DecidedBy != "" {
+		decidedBy = " (decided by " + rep.Portfolio.DecidedBy + ")"
+	}
+	fmt.Printf("precheck: all-instance termination is %s%s\n", rep.Verdict.Terminates, decidedBy)
+	if rep.Verdict.Terminates != chaseterm.Yes {
+		fmt.Println("precheck: the verdict quantifies over all databases — this run may still terminate")
+	}
+	return nil
 }
 
 // printReportStats renders the -stats section: the report's per-stage

@@ -11,6 +11,7 @@ package main
 // honest without turning CI into a perf gate.
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -25,6 +26,7 @@ import (
 	"chaseterm/internal/instance"
 	"chaseterm/internal/logic"
 	"chaseterm/internal/parse"
+	"chaseterm/internal/portfolio"
 	"chaseterm/internal/workload"
 )
 
@@ -211,6 +213,32 @@ func runBenchSuite(w io.Writer, quick bool, label string) error {
 		}
 	})
 	run.Benchmarks = append(run.Benchmarks, measurement("contains_probe", res, nil))
+
+	// portfolio_decide/{ladder,direct} — the portfolio's economy on a
+	// weakly-acyclic ontology: the ladder answers at the positional rung
+	// in polynomial time, while the direct route pays for the exact
+	// shape-space search on every call.
+	pfRules := workload.OntologySL()
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := portfolio.Run(context.Background(), pfRules, core.VariantSemiOblivious, portfolio.Options{})
+			if err != nil || r.Verdict != portfolio.Terminating || r.DecidedBy != "weak-acyclicity" {
+				b.Fatalf("portfolio: %+v %v", r, err)
+			}
+		}
+	})
+	run.Benchmarks = append(run.Benchmarks, measurement("portfolio_decide/ladder", res, nil))
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			r, err := core.DecideLinear(pfRules, core.VariantSemiOblivious, core.Options{})
+			if err != nil || r.Verdict.Answer != core.Terminating {
+				b.Fatalf("direct: %+v %v", r, err)
+			}
+		}
+	})
+	run.Benchmarks = append(run.Benchmarks, measurement("portfolio_decide/direct", res, nil))
 
 	// critical_instance — building I*(Σ) for a mid-sized schema.
 	crng := rand.New(rand.NewSource(25))

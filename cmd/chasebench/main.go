@@ -569,7 +569,7 @@ func runE14(w io.Writer, quick bool) error {
 		if ok, _ := acyclicity.IsWeaklyAcyclic(rs); ok {
 			wa++
 		}
-		if acyclicity.IsJointlyAcyclic(rs) {
+		if ok, _ := acyclicity.IsJointlyAcyclic(rs); ok {
 			ja++
 		}
 	}

@@ -46,6 +46,10 @@ var (
 	_ bool                   = chaseterm.AcyclicityReport{}.JointlyAcyclic
 )
 
+// Deprecated portfolio-era wrappers: the bool-only joint-acyclicity
+// check pre-dates the (bool, *Witness) form and stays available.
+var _ func(*chaseterm.RuleSet) bool = chaseterm.IsJointlyAcyclicBool
+
 // Enum values are part of the wire-adjacent API as well.
 var (
 	_ = chaseterm.Oblivious

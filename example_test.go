@@ -62,6 +62,28 @@ func ExampleAnalyzer_Analyze_chase() {
 	// [[turing]]
 }
 
+// The termination portfolio: WithPortfolio climbs the ladder of cheap
+// sound criteria before touching the exact deciders, and the report
+// says which rung decided. A weakly-acyclic rule set never reaches the
+// PSPACE/2EXPTIME procedures.
+func ExampleAnalyzer_Analyze_portfolio() {
+	var analyzer chaseterm.Analyzer
+	rules := chaseterm.MustParseRules(`
+		professor(X) -> teaches(X,C).
+		teaches(X,C) -> course(C).
+	`)
+	rep, _ := analyzer.Analyze(context.Background(), chaseterm.NewRequest(
+		chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithVariant(chaseterm.SemiOblivious),
+		chaseterm.WithPortfolio(chaseterm.PortfolioOptions{}),
+	))
+	fmt.Println(rep.Verdict.Terminates)
+	fmt.Println("decided by:", rep.Portfolio.DecidedBy)
+	// Output:
+	// terminating
+	// decided by: weak-acyclicity
+}
+
 // The paper's Example 1: deciding, for every database at once, that the
 // chase cannot terminate.
 func ExampleDecideTermination() {

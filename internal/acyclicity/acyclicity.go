@@ -37,13 +37,20 @@ const (
 	Weak Mode = iota
 	// Rich builds the extended dependency graph of Hernich–Schweikardt.
 	Rich
+	// Joint labels witnesses of the joint-acyclicity check (joint.go),
+	// whose cycles run over existential variables, not positions.
+	Joint
 )
 
 func (m Mode) String() string {
-	if m == Weak {
+	switch m {
+	case Weak:
 		return "weak"
+	case Rich:
+		return "rich"
+	default:
+		return "joint"
 	}
-	return "rich"
 }
 
 // DependencyGraph is the positional graph together with the position table
@@ -132,14 +139,23 @@ func Build(rs *logic.RuleSet, mode Mode) *DependencyGraph {
 	return dg
 }
 
-// Witness describes a dangerous cycle: a cycle through a special edge of
-// the (extended) dependency graph, reported as the sequence of positions.
+// Witness describes a dangerous cycle. For the weak/rich criteria it is
+// a cycle through a special edge of the (extended) dependency graph,
+// reported as the sequence of positions; for joint acyclicity it is a
+// cycle of the feeds graph, reported as the sequence of existential
+// variables (ExVars).
 type Witness struct {
 	Mode      Mode
 	Positions []logic.Position
+	// ExVars names the existential variables of a feeds cycle
+	// ("rule#i:Z"), set for Mode Joint only.
+	ExVars []string
 }
 
 func (w *Witness) String() string {
+	if w.Mode == Joint {
+		return fmt.Sprintf("feeds cycle (%s): %s", w.Mode, strings.Join(w.ExVars, " -> "))
+	}
 	parts := make([]string, len(w.Positions))
 	for i, p := range w.Positions {
 		parts[i] = p.String()

@@ -1,6 +1,8 @@
 package acyclicity
 
 import (
+	"fmt"
+
 	"chaseterm/internal/graph"
 	"chaseterm/internal/logic"
 )
@@ -40,8 +42,12 @@ type exVar struct {
 	name logic.Variable
 }
 
-// IsJointlyAcyclic reports whether the rule set is jointly acyclic.
-func IsJointlyAcyclic(rs *logic.RuleSet) bool {
+// IsJointlyAcyclic reports whether the rule set is jointly acyclic,
+// together with a feeds-cycle witness when it is not: the sequence of
+// existential variables y0 → y1 → … → y0 along which nulls of each
+// variable can reach the frontier of the next variable's rule, nesting
+// Skolem terms without bound.
+func IsJointlyAcyclic(rs *logic.RuleSet) (bool, *Witness) {
 	positions := rs.Positions()
 	posIdx := make(map[logic.Position]int, len(positions))
 	for i, p := range positions {
@@ -168,5 +174,25 @@ func IsJointlyAcyclic(rs *logic.RuleSet) bool {
 			}
 		}
 	}
-	return !g.HasCycle()
+	e := g.CycleEdge()
+	if e == nil {
+		return true, nil
+	}
+	w := &Witness{Mode: Joint}
+	for _, n := range g.CycleThrough(*e) {
+		y := exVars[n]
+		w.ExVars = append(w.ExVars, fmt.Sprintf("rule#%d:%s", y.rule, y.name))
+	}
+	return false, w
+}
+
+// IsJointlyAcyclicBool is the historical bool-only form of
+// IsJointlyAcyclic.
+//
+// Deprecated: Use IsJointlyAcyclic, which also returns the feeds-cycle
+// witness — the same (bool, *Witness) shape as the other acyclicity
+// checks.
+func IsJointlyAcyclicBool(rs *logic.RuleSet) bool {
+	ok, _ := IsJointlyAcyclic(rs)
+	return ok
 }

@@ -35,8 +35,15 @@ func TestJointAcyclicityKnownCases(t *testing.T) {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
 			rs := parse.MustParseRules(tc.src)
-			if got := acyclicity.IsJointlyAcyclic(rs); got != tc.ja {
+			got, w := acyclicity.IsJointlyAcyclic(rs)
+			if got != tc.ja {
 				t.Errorf("JA: got %v, want %v", got, tc.ja)
+			}
+			if !got && (w == nil || len(w.ExVars) == 0) {
+				t.Error("non-JA verdict came without a feeds-cycle witness")
+			}
+			if got && w != nil {
+				t.Error("JA verdict came with a witness")
 			}
 		})
 	}
@@ -59,7 +66,7 @@ func TestJAStrictlyGeneralizesWA(t *testing.T) {
 	if wa {
 		t.Fatal("test premise broken: expected WA to fail")
 	}
-	if !acyclicity.IsJointlyAcyclic(rs) {
+	if ok, _ := acyclicity.IsJointlyAcyclic(rs); !ok {
 		t.Fatal("expected JA to hold")
 	}
 	// And the set really is terminating: the oracle saturates.
@@ -85,7 +92,7 @@ func TestQuickWAImpliesJA(t *testing.T) {
 			rs = workload.RandomGuarded(rng, workload.Config{NumPreds: 3, MaxArity: 2, NumRules: 3})
 		}
 		wa, _ := acyclicity.IsWeaklyAcyclic(rs)
-		if wa && !acyclicity.IsJointlyAcyclic(rs) {
+		if ja, _ := acyclicity.IsJointlyAcyclic(rs); wa && !ja {
 			t.Fatalf("WA ⊆ JA violated:\n%s", rs)
 		}
 	}
@@ -97,7 +104,7 @@ func TestQuickJASound(t *testing.T) {
 	f := func(seedVal int64) bool {
 		rng := rand.New(rand.NewSource(seedVal))
 		rs := workload.RandomGuarded(rng, workload.Config{NumPreds: 3, MaxArity: 2, NumRules: 3})
-		if !acyclicity.IsJointlyAcyclic(rs) {
+		if ok, _ := acyclicity.IsJointlyAcyclic(rs); !ok {
 			return true
 		}
 		res, err := critical.Oracle(rs, chase.SemiOblivious, chase.Options{MaxTriggers: 8000, MaxFacts: 8000})

@@ -158,6 +158,28 @@ func (g *Graph) SpecialCycleEdge() *Edge {
 // HasSpecialCycle reports whether some cycle traverses a special edge.
 func (g *Graph) HasSpecialCycle() bool { return g.SpecialCycleEdge() != nil }
 
+// CycleEdge returns an edge — regular or special — that lies on some
+// cycle, or nil if the graph is acyclic. The same SCC argument as
+// SpecialCycleEdge applies: an edge lies on a cycle exactly when both
+// endpoints share a strongly connected component and that component is
+// not a single loop-free node. Used to report witness cycles for
+// criteria whose graphs have no special edges (joint acyclicity's feeds
+// graph).
+func (g *Graph) CycleEdge() *Edge {
+	comp, _ := g.SCC()
+	size := make(map[int]int)
+	for _, c := range comp {
+		size[c]++
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		if comp[e.From] == comp[e.To] && (size[comp[e.From]] > 1 || e.From == e.To) {
+			return e
+		}
+	}
+	return nil
+}
+
 // CycleThrough returns a cycle (as a node sequence v0, v1, ..., vk = v0)
 // that traverses the given special edge, or nil if none exists. Used to
 // report human-readable witnesses for non-termination verdicts.

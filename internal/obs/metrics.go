@@ -71,6 +71,46 @@ func (r *Registry) Counter(name, help string, read func() int64) {
 	}})
 }
 
+// LabeledCounter registers one labeled series of a counter family,
+// sampled from read at scrape time. Several series may share a family
+// name by giving each a distinct pre-rendered label body such as
+// `rung="mfa"` — the HELP/TYPE header is emitted once, mirroring the
+// histogram label-variant semantics. Mixing a labeled series with an
+// unlabeled Counter of the same name, or reusing a label body, is a
+// registration bug the caller owns (this minimal registry does not
+// check label bodies).
+func (r *Registry) LabeledCounter(name, help, constLabels string, read func() int64) {
+	render := func(b *strings.Builder) {
+		b.WriteString(name)
+		if constLabels != "" {
+			b.WriteByte('{')
+			b.WriteString(constLabels)
+			b.WriteByte('}')
+		}
+		b.WriteByte(' ')
+		b.WriteString(strconv.FormatInt(read(), 10))
+		b.WriteByte('\n')
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, g := range r.fams {
+		if g.name != name {
+			continue
+		}
+		if g.typ != typeCounter {
+			panic("obs: duplicate metric " + name)
+		}
+		prev := g.render
+		g.render = func(b *strings.Builder) {
+			prev(b)
+			render(b)
+		}
+		return
+	}
+	r.fams = append(r.fams, &family{name: name, help: help, typ: typeCounter, render: render})
+	sort.Slice(r.fams, func(i, j int) bool { return r.fams[i].name < r.fams[j].name })
+}
+
 // Gauge registers a series that can go up and down, sampled from read
 // at scrape time.
 func (r *Registry) Gauge(name, help string, read func() float64) {

@@ -1,0 +1,239 @@
+package portfolio
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"chaseterm/internal/core"
+	"chaseterm/internal/logic"
+	"chaseterm/internal/parse"
+)
+
+func TestRungNamesLadderOrder(t *testing.T) {
+	want := []string{
+		"rich-acyclicity", "weak-acyclicity", "joint-acyclicity",
+		"mfa", "critical-saturation", "linear-exact", "guarded-exact",
+	}
+	got := RungNames()
+	if len(got) != len(want) {
+		t.Fatalf("rungs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rung[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestLadderShortCircuit: a weakly-acyclic set must be decided by the
+// first applicable positional rung and never reach anything deeper.
+func TestLadderShortCircuit(t *testing.T) {
+	rs := parse.MustParseRules(`professor(X) -> teaches(X,C). teaches(X,C) -> course(C).`)
+	res, err := Run(context.Background(), rs, core.VariantSemiOblivious, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Terminating || res.DecidedBy != "weak-acyclicity" {
+		t.Errorf("got %v decided by %q", res.Verdict, res.DecidedBy)
+	}
+	if len(res.Rungs) != 1 || res.Rungs[0].Rung != "weak-acyclicity" {
+		t.Errorf("rung trace %v, want exactly the weak-acyclicity rung", res.Rungs)
+	}
+	if res.Raced {
+		t.Error("nothing should race on a decisive ladder")
+	}
+}
+
+// TestObliviousLadderStartsAtRich: under the oblivious variant the
+// rich-acyclicity rung is the applicable positional criterion.
+func TestObliviousLadderStartsAtRich(t *testing.T) {
+	rs := parse.MustParseRules(`p(X) -> q(X,Y).`)
+	res, err := Run(context.Background(), rs, core.VariantOblivious, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != Terminating || res.DecidedBy != "rich-acyclicity" {
+		t.Errorf("got %v decided by %q", res.Verdict, res.DecidedBy)
+	}
+}
+
+// TestSLNonTerminatingOnPositionalRung: on constant-free simple-linear
+// sets the positional criteria are exact (Theorem 1), so a failed check
+// is already a sound NonTerminating — the exact tier must not run.
+func TestSLNonTerminatingOnPositionalRung(t *testing.T) {
+	rs := parse.MustParseRules(`p(X,Y) -> p(Y,Z).`)
+	res, err := Run(context.Background(), rs, core.VariantSemiOblivious, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NonTerminating || res.DecidedBy != "weak-acyclicity" {
+		t.Errorf("got %v decided by %q", res.Verdict, res.DecidedBy)
+	}
+	if res.Evidence.Method != "weak-acyclicity(SL)" || res.Evidence.Witness == "" {
+		t.Errorf("evidence %+v", res.Evidence)
+	}
+	if len(res.Rungs) != 1 {
+		t.Errorf("rung trace %v", res.Rungs)
+	}
+}
+
+// TestLadderFallsThroughToExact: a non-SL linear diverging set defeats
+// every sound criterion (WA/JA fail, MFA sees a cyclic term), so the
+// decision must come from an exact rung, and must be NonTerminating.
+func TestLadderFallsThroughToExact(t *testing.T) {
+	rs := parse.MustParseRules(`p(X,X) -> q(X,Y). q(X,Y) -> p(Y,Y).`)
+	res, err := Run(context.Background(), rs, core.VariantSemiOblivious, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NonTerminating || res.DecidedBy != "linear-exact" {
+		t.Errorf("got %v decided by %q", res.Verdict, res.DecidedBy)
+	}
+	var names []string
+	for _, r := range res.Rungs {
+		names = append(names, r.Rung)
+	}
+	want := []string{"weak-acyclicity", "joint-acyclicity", "mfa", "linear-exact"}
+	if len(names) != len(want) {
+		t.Fatalf("rung trace %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("rung[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+}
+
+// TestRealRace: the same set with Race on — linear-exact and
+// guarded-exact both apply, both are sound and decisive, and whichever
+// returns first must win with the same verdict.
+func TestRealRace(t *testing.T) {
+	rs := parse.MustParseRules(`p(X,X) -> q(X,Y). q(X,Y) -> p(Y,Y).`)
+	res, err := Run(context.Background(), rs, core.VariantSemiOblivious, Options{Race: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Verdict != NonTerminating || !res.Raced {
+		t.Errorf("got %v raced=%v", res.Verdict, res.Raced)
+	}
+	if res.DecidedBy != "linear-exact" && res.DecidedBy != "guarded-exact" {
+		t.Errorf("decided by %q, want an exact rung", res.DecidedBy)
+	}
+	// Ladder (3 rungs) + both racers, drained.
+	if len(res.Rungs) != 5 {
+		t.Errorf("rung trace %v", res.Rungs)
+	}
+}
+
+// fakeExact is a controllable exact-tier decider for race tests. It
+// decides with the configured verdict after delay, or returns ctx.Err()
+// as soon as it is cancelled — the contract real deciders honor.
+type fakeExact struct {
+	name    string
+	delay   time.Duration
+	verdict Verdict
+	err     error
+}
+
+func (f fakeExact) Name() string                                      { return f.name }
+func (f fakeExact) Tier() Tier                                        { return TierExact }
+func (f fakeExact) Sound() bool                                       { return true }
+func (f fakeExact) Complete() bool                                    { return true }
+func (f fakeExact) Applicable(*logic.RuleSet, core.ChaseVariant) bool { return true }
+
+func (f fakeExact) DecideContext(ctx context.Context, _ *logic.RuleSet, _ core.ChaseVariant, _ Options) (Verdict, Evidence, error) {
+	if f.err != nil {
+		return Undecided, Evidence{}, f.err
+	}
+	select {
+	case <-time.After(f.delay):
+		return f.verdict, Evidence{Method: f.name}, nil
+	case <-ctx.Done():
+		return Undecided, Evidence{}, ctx.Err()
+	}
+}
+
+var raceRules = `p(X,X) -> q(X,Y).`
+
+// TestRaceWinnerCancelsLoser: the fast decider's verdict is adopted and
+// the slow one is cancelled long before its own delay — and its report
+// is marked Canceled, not treated as a failure.
+func TestRaceWinnerCancelsLoser(t *testing.T) {
+	rs := parse.MustParseRules(raceRules)
+	reg := NewRegistry(
+		fakeExact{name: "fast", delay: time.Millisecond, verdict: Terminating},
+		fakeExact{name: "slow", delay: time.Minute, verdict: NonTerminating},
+	)
+	t0 := time.Now()
+	res, err := RunWith(context.Background(), reg, rs, core.VariantSemiOblivious, Options{Race: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(t0); elapsed > 10*time.Second {
+		t.Errorf("race took %v — the loser was not cancelled", elapsed)
+	}
+	if res.Verdict != Terminating || res.DecidedBy != "fast" || !res.Raced {
+		t.Errorf("got %v decided by %q raced=%v", res.Verdict, res.DecidedBy, res.Raced)
+	}
+	var loser *RungReport
+	for i := range res.Rungs {
+		if res.Rungs[i].Rung == "slow" {
+			loser = &res.Rungs[i]
+		}
+	}
+	if loser == nil || !loser.Canceled {
+		t.Errorf("loser report %+v, want Canceled", loser)
+	}
+}
+
+// TestRaceDoesNotLeakGoroutines: RunWith drains every racer before
+// returning, so repeated races leave the goroutine count flat.
+func TestRaceDoesNotLeakGoroutines(t *testing.T) {
+	rs := parse.MustParseRules(raceRules)
+	reg := NewRegistry(
+		fakeExact{name: "fast", delay: time.Millisecond, verdict: Terminating},
+		fakeExact{name: "slow", delay: time.Minute, verdict: NonTerminating},
+		fakeExact{name: "slower", delay: time.Minute, verdict: NonTerminating},
+	)
+	base := runtime.NumGoroutine()
+	for i := 0; i < 20; i++ {
+		if _, err := RunWith(context.Background(), reg, rs, core.VariantSemiOblivious, Options{Race: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The drained racers have sent their outcome but may not have fully
+	// exited yet; give the scheduler a beat before counting.
+	time.Sleep(50 * time.Millisecond)
+	if n := runtime.NumGoroutine(); n > base+2 {
+		t.Errorf("goroutines grew from %d to %d across 20 races", base, n)
+	}
+}
+
+// TestRaceErrorWithoutWinner: if every racer fails in its own right, the
+// first error surfaces rather than a fabricated verdict.
+func TestRaceErrorWithoutWinner(t *testing.T) {
+	rs := parse.MustParseRules(raceRules)
+	boom := errors.New("boom")
+	reg := NewRegistry(
+		fakeExact{name: "bad1", err: boom},
+		fakeExact{name: "bad2", err: boom},
+	)
+	_, err := RunWith(context.Background(), reg, rs, core.VariantSemiOblivious, Options{Race: true})
+	if !errors.Is(err, boom) {
+		t.Errorf("err = %v, want boom", err)
+	}
+}
+
+// TestCancellationPropagates: cancelling the caller's context aborts
+// the portfolio with ctx.Err, not a verdict.
+func TestCancellationPropagates(t *testing.T) {
+	rs := parse.MustParseRules(raceRules)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, rs, core.VariantSemiOblivious, Options{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}

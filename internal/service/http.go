@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"time"
 
+	"chaseterm"
 	"chaseterm/api"
 	"chaseterm/internal/obs"
 )
@@ -34,6 +35,7 @@ const maxBodyBytes = 8 << 20
 // And the operational endpoints:
 //
 //	GET  /healthz
+//	GET  /v2/capabilities
 //	GET  /v1/stats
 //	GET  /metrics   (Prometheus text exposition format)
 //
@@ -158,6 +160,9 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /v2/capabilities", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, Capabilities())
+	})
 	mux.HandleFunc("GET /v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.StatsSnapshot())
 	})
@@ -168,6 +173,17 @@ func NewHandler(e *Engine) http.Handler {
 // MetricsHandler serves the engine's metrics in the Prometheus text
 // exposition format; NewHandler mounts it as GET /metrics.
 func (e *Engine) MetricsHandler() http.Handler { return e.metrics.reg }
+
+// Capabilities describes the feature set of this build of the service —
+// the body of GET /v2/capabilities. It is a function of the binary, not
+// of engine state, so clients may cache it for a server's lifetime.
+func Capabilities() api.Capabilities {
+	return api.Capabilities{
+		Version:        api.Version,
+		Portfolio:      true,
+		PortfolioRungs: chaseterm.PortfolioRungNames(),
+	}
+}
 
 // withRequestID assigns every request its identifier: the client's
 // X-Request-ID when present (so IDs propagate through proxies and

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"chaseterm"
 	"chaseterm/internal/obs"
 )
 
@@ -64,6 +65,12 @@ func newMetrics(e *Engine) *metrics {
 	counter("chased_triggers_noop_total", "Chase triggers that produced no new fact across all runs.", &m.triggersNoop)
 	counter("chased_triggers_satisfied_total", "Chase triggers skipped as already satisfied across all runs.", &m.triggersSatisfied)
 	counter("chased_facts_derived_total", "Facts derived by the chase engine across all runs.", &m.factsDerived)
+	counter("chased_portfolio_decides_total", "Decide requests that ran the termination portfolio (cache misses only).", &s.portfolioDecides)
+	for _, rung := range chaseterm.PortfolioRungNames() {
+		r.LabeledCounter("chased_portfolio_rung_total",
+			"Portfolio decisions by the rung that decided.",
+			`rung="`+rung+`"`, s.portfolioRungs[rung].Load)
+	}
 
 	r.Gauge("chased_uptime_seconds", "Seconds since the engine started.", func() float64 {
 		return time.Since(s.start).Seconds()

@@ -154,6 +154,8 @@ func TestMetricsExposition(t *testing.T) {
 		"chased_triggers_noop_total":      "counter",
 		"chased_triggers_satisfied_total": "counter",
 		"chased_facts_derived_total":      "counter",
+		"chased_portfolio_decides_total":  "counter",
+		"chased_portfolio_rung_total":     "counter",
 		"chased_uptime_seconds":           "gauge",
 		"chased_in_flight":                "gauge",
 		"chased_pool_queue_depth":         "gauge",

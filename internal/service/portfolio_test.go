@@ -1,0 +1,178 @@
+package service
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"chaseterm"
+	"chaseterm/api"
+)
+
+// waRules is weakly acyclic under the semi-oblivious variant, so a
+// portfolio decide must stop at the weak-acyclicity rung and never
+// reach the exact tier.
+const waRules = `professor(X) -> teaches(X,C). teaches(X,C) -> course(C).`
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, data)
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+}
+
+func TestAnalyzePortfolioDecide(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	resp, data := postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{
+		Kind:      api.KindDecide,
+		Rules:     waRules,
+		Variant:   "so",
+		Portfolio: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out api.AnalyzeResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Decision == nil || out.Decision.Terminates != "terminating" {
+		t.Fatalf("decision block wrong: %+v", out.Decision)
+	}
+	if out.Decision.DecidedBy != "weak-acyclicity" {
+		t.Errorf("decidedBy = %q, want weak-acyclicity", out.Decision.DecidedBy)
+	}
+	if len(out.Decision.Rungs) == 0 {
+		t.Error("portfolio decision carries no rung trace")
+	}
+	for _, r := range out.Decision.Rungs {
+		if r.Name == "guarded-exact" || r.Name == "linear-exact" {
+			t.Errorf("weakly-acyclic input reached exact rung %q", r.Name)
+		}
+	}
+
+	// The rung counters see the one flight that actually ran.
+	var snap Snapshot
+	getJSON(t, srv.URL+"/v1/stats", &snap)
+	if snap.PortfolioDecides != 1 {
+		t.Errorf("portfolioDecides = %d, want 1", snap.PortfolioDecides)
+	}
+	if snap.PortfolioRungs["weak-acyclicity"] != 1 {
+		t.Errorf("rung counter weak-acyclicity = %d, want 1", snap.PortfolioRungs["weak-acyclicity"])
+	}
+	if snap.PortfolioRungs["guarded-exact"] != 0 {
+		t.Errorf("rung counter guarded-exact = %d, want 0", snap.PortfolioRungs["guarded-exact"])
+	}
+
+	// A repeat request is a cache hit: the provenance is replayed from
+	// the cached value, and the rung counters do not move again.
+	_, data = postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{
+		Kind: api.KindDecide, Rules: waRules, Variant: "so", Portfolio: true,
+	})
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Cached {
+		t.Error("repeat portfolio decide not served from cache")
+	}
+	if out.Decision == nil || out.Decision.DecidedBy != "weak-acyclicity" {
+		t.Errorf("cached portfolio decision lost its provenance: %+v", out.Decision)
+	}
+	getJSON(t, srv.URL+"/v1/stats", &snap)
+	if snap.PortfolioDecides != 1 || snap.PortfolioRungs["weak-acyclicity"] != 1 {
+		t.Errorf("cache hit moved rung counters: decides=%d weak=%d",
+			snap.PortfolioDecides, snap.PortfolioRungs["weak-acyclicity"])
+	}
+
+	// And the Prometheus view agrees with the JSON one.
+	httpResp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(httpResp.Body)
+	httpResp.Body.Close()
+	if !strings.Contains(string(body), `chased_portfolio_rung_total{rung="weak-acyclicity"} 1`) {
+		t.Error("/metrics missing the weak-acyclicity rung series at 1")
+	}
+}
+
+// TestPortfolioCacheDistinctFromDirect: a portfolio decision carries
+// provenance a direct one lacks, so the two must not share a cache
+// entry even for identical rules.
+func TestPortfolioCacheDistinctFromDirect(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{Kind: api.KindDecide, Rules: waRules, Variant: "so"})
+	_, data := postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{
+		Kind: api.KindDecide, Rules: waRules, Variant: "so", Portfolio: true,
+	})
+	var out api.AnalyzeResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Cached {
+		t.Error("portfolio decide hit the direct decide's cache entry")
+	}
+	if out.Decision == nil || out.Decision.DecidedBy == "" {
+		t.Errorf("portfolio decide lost its provenance: %+v", out.Decision)
+	}
+}
+
+// TestPortfolioRaceRequest: the race flag is accepted over the wire and
+// still yields the ladder's verdict when the ladder is decisive (the
+// exact tier never starts, so nothing races).
+func TestPortfolioRaceRequest(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 2})
+	resp, data := postJSON(t, srv.URL+"/v2/analyze", api.AnalyzeRequest{
+		Kind:          api.KindDecide,
+		Rules:         waRules,
+		Variant:       "so",
+		Portfolio:     true,
+		PortfolioRace: true,
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, data)
+	}
+	var out api.AnalyzeResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Decision == nil || out.Decision.DecidedBy != "weak-acyclicity" || out.Decision.Raced {
+		t.Errorf("race request on decisive ladder: %+v", out.Decision)
+	}
+	// Distinct cache key from the non-racing portfolio request.
+	if out.Cached {
+		t.Error("racing portfolio decide shared a cache entry with another mode")
+	}
+}
+
+func TestCapabilitiesEndpoint(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	var caps api.Capabilities
+	getJSON(t, srv.URL+"/v2/capabilities", &caps)
+	if caps.Version != api.Version || !caps.Portfolio {
+		t.Errorf("capabilities = %+v", caps)
+	}
+	want := chaseterm.PortfolioRungNames()
+	if len(caps.PortfolioRungs) != len(want) {
+		t.Fatalf("rungs = %v, want %v", caps.PortfolioRungs, want)
+	}
+	for i, name := range want {
+		if caps.PortfolioRungs[i] != name {
+			t.Errorf("rung[%d] = %q, want %q", i, caps.PortfolioRungs[i], name)
+		}
+	}
+}

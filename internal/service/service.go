@@ -339,6 +339,7 @@ func respFromReport(kind api.Kind, rep *chaseterm.Report, includeFacts bool) *ap
 	}
 	if rep.Verdict != nil {
 		resp.Decision = apiDecision(rep.Verdict)
+		decoratePortfolio(resp.Decision, rep.Portfolio)
 	}
 	if rep.Chase != nil {
 		resp.Chase = apiChaseRun(rep.Chase, includeFacts)
@@ -405,7 +406,18 @@ func (e *Engine) doDecide(ctx context.Context, req api.AnalyzeRequest, rules *ch
 		nodeTypes = 0
 	}
 	resp := baseResponse(api.KindDecide, rules)
-	key := fmt.Sprintf("decide|%s|%s|%d|%d", resp.Fingerprint, variant, shapes, nodeTypes)
+	// The portfolio mode is part of the content address: a portfolio
+	// decision carries provenance (decidedBy, rungs) a direct one lacks,
+	// and racing changes the trace, so the three modes never share an
+	// entry.
+	mode := ""
+	if req.Portfolio {
+		mode = "|p"
+		if req.PortfolioRace {
+			mode = "|pr"
+		}
+	}
+	key := fmt.Sprintf("decide|%s|%s|%d|%d%s", resp.Fingerprint, variant, shapes, nodeTypes, mode)
 	val, hit, err := e.cache.Do(ctx, key, func() (any, error) {
 		// The flight is shared: deduplicated waiters ride on this one
 		// computation, so it must not die with the leader's request.
@@ -415,6 +427,12 @@ func (e *Engine) doDecide(ctx context.Context, req api.AnalyzeRequest, rules *ch
 		fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.opts.JobTimeout)
 		defer cancel()
 		return e.pool.Do(fctx, func(ctx context.Context) (any, error) {
+			if req.Portfolio {
+				return e.decidePortfolio(ctx, rules, variant, chaseterm.DecideOptions{
+					MaxShapes:    shapes,
+					MaxNodeTypes: nodeTypes,
+				}, req.PortfolioRace)
+			}
 			return e.decide(ctx, rules, variant, chaseterm.DecideOptions{
 				MaxShapes:    shapes,
 				MaxNodeTypes: nodeTypes,
@@ -430,8 +448,56 @@ func (e *Engine) doDecide(ctx context.Context, req api.AnalyzeRequest, rules *ch
 		e.stats.cacheMisses.Add(1)
 	}
 	resp.Cached = hit
-	resp.Decision = apiDecision(val.(*chaseterm.Verdict))
+	switch v := val.(type) {
+	case *chaseterm.Verdict:
+		resp.Decision = apiDecision(v)
+	case *portfolioDecision:
+		if !hit {
+			e.stats.recordPortfolio(v.portfolio.DecidedBy)
+		}
+		resp.Decision = apiDecision(v.verdict)
+		decoratePortfolio(resp.Decision, v.portfolio)
+	}
 	return resp, nil
+}
+
+// portfolioDecision is the cached value of a portfolio decide: the
+// verdict plus its provenance.
+type portfolioDecision struct {
+	verdict   *chaseterm.Verdict
+	portfolio *chaseterm.PortfolioReport
+}
+
+// decidePortfolio runs the all-instance decision through the facade's
+// termination portfolio. It bypasses Options.DecideFunc — the override
+// has no way to produce rung provenance — so tests that stub the direct
+// decider exercise the real ladder here.
+func (e *Engine) decidePortfolio(ctx context.Context, rules *chaseterm.RuleSet, v chaseterm.Variant, opt chaseterm.DecideOptions, race bool) (*portfolioDecision, error) {
+	rep, err := e.facade.Analyze(ctx, chaseterm.NewRequest(chaseterm.AnalyzeDecide, rules,
+		chaseterm.WithVariant(v), chaseterm.WithDecideBudgets(opt),
+		chaseterm.WithPortfolio(chaseterm.PortfolioOptions{Race: race})))
+	if err != nil {
+		return nil, err
+	}
+	return &portfolioDecision{verdict: rep.Verdict, portfolio: rep.Portfolio}, nil
+}
+
+// decoratePortfolio attaches the portfolio provenance to a wire
+// decision.
+func decoratePortfolio(d *api.Decision, rep *chaseterm.PortfolioReport) {
+	if rep == nil {
+		return
+	}
+	d.DecidedBy = rep.DecidedBy
+	d.Raced = rep.Raced
+	for _, r := range rep.Rungs {
+		d.Rungs = append(d.Rungs, api.Rung{
+			Name:     r.Rung,
+			Verdict:  r.Verdict,
+			Millis:   millis(r.Elapsed),
+			Canceled: r.Canceled,
+		})
+	}
 }
 
 // doDecideOnDatabase answers the fixed-database decision problem. The
@@ -602,6 +668,7 @@ func apiAcyclicity(rep *chaseterm.AcyclicityReport) *api.Acyclicity {
 		JointlyAcyclic: rep.JointlyAcyclic,
 		RAWitness:      rep.RAWitness,
 		WAWitness:      rep.WAWitness,
+		JAWitness:      rep.JAWitness,
 	}
 }
 

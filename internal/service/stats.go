@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"chaseterm"
 )
 
 // Stats aggregates service-level counters. All methods are safe for
@@ -24,6 +26,14 @@ type Stats struct {
 	streamsAborted atomic.Int64
 	streamFacts    atomic.Int64
 
+	// portfolioDecides counts decide requests that ran the termination
+	// portfolio (cache misses only — the rung ladder actually climbed);
+	// portfolioRungs splits them by the rung that decided. The key set is
+	// fixed at construction (chaseterm.PortfolioRungNames), so lookups
+	// after newStats are read-only and need no lock.
+	portfolioDecides atomic.Int64
+	portfolioRungs   map[string]*atomic.Int64
+
 	// Queue wait (worker-pool admission + singleflight wait) and
 	// execution time are windowed separately: conflating them made a
 	// saturated pool indistinguishable from slow analyses.
@@ -32,10 +42,23 @@ type Stats struct {
 }
 
 func newStats() *Stats {
-	s := &Stats{start: time.Now()}
+	s := &Stats{start: time.Now(), portfolioRungs: make(map[string]*atomic.Int64)}
+	for _, rung := range chaseterm.PortfolioRungNames() {
+		s.portfolioRungs[rung] = new(atomic.Int64)
+	}
 	s.latQueue.init(1024)
 	s.latExec.init(1024)
 	return s
+}
+
+// recordPortfolio counts one portfolio decision that actually ran (a
+// cache miss), attributed to the rung that decided it. An exhausted
+// portfolio has no deciding rung and only bumps the total.
+func (s *Stats) recordPortfolio(decidedBy string) {
+	s.portfolioDecides.Add(1)
+	if c, ok := s.portfolioRungs[decidedBy]; ok {
+		c.Add(1)
+	}
 }
 
 // Snapshot is the JSON shape served by GET /v1/stats.
@@ -65,6 +88,13 @@ type Snapshot struct {
 	Streams        int64 `json:"streams"`
 	StreamsAborted int64 `json:"streamsAborted"`
 	StreamFacts    int64 `json:"streamFacts"`
+
+	// PortfolioDecides counts decide requests that ran the termination
+	// portfolio (cache misses only); PortfolioRungs attributes them to
+	// the rung that decided — every rung is listed, zeros included, so
+	// dashboards see the full ladder.
+	PortfolioDecides int64            `json:"portfolioDecides"`
+	PortfolioRungs   map[string]int64 `json:"portfolioRungs"`
 
 	Runtime RuntimeStats `json:"runtime"`
 }
@@ -214,22 +244,32 @@ func (s *Stats) snapshot(cacheEntries int) Snapshot {
 	uptime := time.Since(s.start)
 	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 	return Snapshot{
-		UptimeSeconds:  uptime.Seconds(),
-		Runtime:        readRuntimeStats(uptime),
-		CacheHits:      s.cacheHits.Load(),
-		CacheMisses:    s.cacheMisses.Load(),
-		CacheEntries:   cacheEntries,
-		InFlight:       s.inFlight.Load(),
-		JobsServed:     s.jobsServed.Load(),
-		JobsFailed:     s.jobsFailed.Load(),
-		P50Millis:      ms(q50 + x50),
-		P99Millis:      ms(q99 + x99),
-		QueueP50Millis: ms(q50),
-		QueueP99Millis: ms(q99),
-		ExecP50Millis:  ms(x50),
-		ExecP99Millis:  ms(x99),
-		Streams:        s.streams.Load(),
-		StreamsAborted: s.streamsAborted.Load(),
-		StreamFacts:    s.streamFacts.Load(),
+		UptimeSeconds:    uptime.Seconds(),
+		Runtime:          readRuntimeStats(uptime),
+		CacheHits:        s.cacheHits.Load(),
+		CacheMisses:      s.cacheMisses.Load(),
+		CacheEntries:     cacheEntries,
+		InFlight:         s.inFlight.Load(),
+		JobsServed:       s.jobsServed.Load(),
+		JobsFailed:       s.jobsFailed.Load(),
+		P50Millis:        ms(q50 + x50),
+		P99Millis:        ms(q99 + x99),
+		QueueP50Millis:   ms(q50),
+		QueueP99Millis:   ms(q99),
+		ExecP50Millis:    ms(x50),
+		ExecP99Millis:    ms(x99),
+		Streams:          s.streams.Load(),
+		StreamsAborted:   s.streamsAborted.Load(),
+		StreamFacts:      s.streamFacts.Load(),
+		PortfolioDecides: s.portfolioDecides.Load(),
+		PortfolioRungs:   s.portfolioRungSnapshot(),
 	}
+}
+
+func (s *Stats) portfolioRungSnapshot() map[string]int64 {
+	out := make(map[string]int64, len(s.portfolioRungs))
+	for rung, c := range s.portfolioRungs {
+		out[rung] = c.Load()
+	}
+	return out
 }

@@ -1,0 +1,134 @@
+package chaseterm
+
+import (
+	"context"
+	"time"
+
+	"chaseterm/internal/core"
+	"chaseterm/internal/portfolio"
+)
+
+// PortfolioOptions configure the portfolio scheduler of WithPortfolio.
+type PortfolioOptions struct {
+	// Race runs the applicable exact deciders concurrently once the
+	// cheap ladder is exhausted, adopting the first decisive verdict and
+	// cancelling the losers. With Race unset they run sequentially,
+	// cheapest class first.
+	Race bool
+}
+
+// WithPortfolio makes AnalyzeDecide run the termination portfolio
+// instead of dispatching straight to the exact decider for the rule
+// set's class: the ladder of cheap sound criteria — positional
+// acyclicity, then bounded critical-chase rungs — runs bottom-up and
+// short-circuits on the first decisive verdict, so the exact
+// (PSPACE/2EXPTIME) procedures only run when every cheap rung is
+// inconclusive. The report then carries Report.Portfolio: which rung
+// decided and a per-rung timing trace.
+//
+// The portfolio answers the all-instance question; a request that also
+// carries WithDatabase ignores the portfolio and decides the
+// fixed-database problem directly.
+func WithPortfolio(opt PortfolioOptions) RequestOption {
+	return func(r *Request) {
+		p := opt
+		r.portfolio = &p
+	}
+}
+
+// RungTiming is one rung's entry in a portfolio trace.
+type RungTiming struct {
+	// Rung is the stable rung name ("weak-acyclicity", "mfa",
+	// "guarded-exact", …).
+	Rung string
+	// Verdict is the rung's own answer: "terminating",
+	// "non-terminating", or "undecided".
+	Verdict string
+	// Elapsed is the rung's wall time.
+	Elapsed time.Duration
+	// Canceled marks a racing loser stopped by the winner.
+	Canceled bool
+}
+
+// PortfolioReport is the provenance of a portfolio decision
+// (Report.Portfolio).
+type PortfolioReport struct {
+	// DecidedBy names the rung whose verdict the report adopted — empty
+	// only when every applicable rung was inconclusive. For the
+	// restricted variant it names the rung that decided the underlying
+	// CT^so question, whether or not the Yes transferred.
+	DecidedBy string
+	// Raced reports that the exact deciders ran as a cancellation race.
+	Raced bool
+	// Rungs traces every rung that ran, in completion order.
+	Rungs []RungTiming
+}
+
+// decidePortfolio is the portfolio-scheduled all-instance decision
+// behind Analyzer.Analyze (WithPortfolio).
+func decidePortfolio(ctx context.Context, rules *RuleSet, v Variant, opt DecideOptions, popt PortfolioOptions) (*Verdict, *PortfolioReport, error) {
+	class := rules.Classify()
+	if v == Restricted {
+		// Same transfer as decideRestricted: CT^so Yes implies restricted
+		// termination; anything else stays open.
+		so, prep, err := decidePortfolio(ctx, rules, SemiOblivious, opt, popt)
+		if err != nil {
+			return nil, nil, err
+		}
+		if so.Terminates == Yes {
+			so.Method += "→restricted"
+			return so, prep, nil
+		}
+		return &Verdict{
+			Terminates: Unknown,
+			Class:      class,
+			Method:     "restricted-open",
+			Witness: "deciding restricted-chase termination is the paper's open problem; " +
+				"CT^so gave " + so.Terminates.String(),
+		}, prep, nil
+	}
+	cv := core.VariantSemiOblivious
+	if v == Oblivious {
+		cv = core.VariantOblivious
+	}
+	res, err := portfolio.Run(ctx, rules.rs, cv, portfolio.Options{
+		Core: core.Options{
+			MaxShapes:    opt.MaxShapes,
+			MaxNodeTypes: opt.MaxNodeTypes,
+		},
+		OracleMaxTriggers: opt.OracleMaxTriggers,
+		OracleMaxFacts:    opt.OracleMaxFacts,
+		Race:              popt.Race,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	verdict := &Verdict{
+		Class:       class,
+		Method:      res.Evidence.Method,
+		Witness:     res.Evidence.Witness,
+		SearchSpace: res.Evidence.SearchSpace,
+	}
+	switch res.Verdict {
+	case portfolio.Terminating:
+		verdict.Terminates = Yes
+	case portfolio.NonTerminating:
+		verdict.Terminates = No
+	default:
+		verdict.Terminates = Unknown
+	}
+	prep := &PortfolioReport{DecidedBy: res.DecidedBy, Raced: res.Raced}
+	for _, r := range res.Rungs {
+		prep.Rungs = append(prep.Rungs, RungTiming{
+			Rung:     r.Rung,
+			Verdict:  r.Verdict.String(),
+			Elapsed:  r.Elapsed,
+			Canceled: r.Canceled,
+		})
+	}
+	return verdict, prep, nil
+}
+
+// PortfolioRungNames lists the portfolio's rung names in ladder order —
+// the label set of the service's per-rung counters.
+func PortfolioRungNames() []string { return portfolio.RungNames() }
