@@ -919,7 +919,16 @@ func LoopEntailment(inst EntailmentInstance) (*RuleSet, error) {
 // Entails answers the entailment question directly by saturation
 // (semi-oblivious chase); exact whenever the chase of DB under Rules
 // terminates, which is always the case for Datalog rules.
+//
+// Deprecated: use EntailsContext, which bounds the saturation by a
+// caller-supplied context.
 func Entails(inst EntailmentInstance) (bool, error) {
+	return EntailsContext(context.Background(), inst)
+}
+
+// EntailsContext is Entails honoring a context: the underlying chase
+// polls it, so a canceled or expired context surfaces as ctx.Err().
+func EntailsContext(ctx context.Context, inst EntailmentInstance) (bool, error) {
 	goalFacts, err := parse.ParseFacts(inst.Goal + ".")
 	if err != nil {
 		return false, fmt.Errorf("chaseterm: bad goal: %w", err)
@@ -927,7 +936,7 @@ func Entails(inst EntailmentInstance) (bool, error) {
 	if len(goalFacts) != 1 {
 		return false, fmt.Errorf("chaseterm: goal must be a single ground atom")
 	}
-	return looping.Entailed(looping.Instance{
+	return looping.EntailedContext(ctx, looping.Instance{
 		Rules: inst.Rules.rs,
 		DB:    inst.DB.atoms,
 		Goal:  goalFacts[0],

@@ -94,7 +94,7 @@ func runBenchSuite(w io.Writer, quick bool, label string) error {
 	res := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			r, err := chase.RunFromAtoms(ttFacts, ttRules, chase.SemiOblivious, chase.Options{})
+			r, err := chase.RunFromAtomsContext(context.Background(), ttFacts, ttRules, chase.SemiOblivious, chase.Options{})
 			if err != nil || r.Outcome != chase.Terminated {
 				b.Fatalf("throughput run: %v %v", r, err)
 			}
@@ -118,7 +118,7 @@ func runBenchSuite(w io.Writer, quick bool, label string) error {
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := chase.RunFromAtoms(ontDB, ontRules, v, chase.Options{})
+				r, err := chase.RunFromAtomsContext(context.Background(), ontDB, ontRules, v, chase.Options{})
 				if err != nil || r.Outcome != chase.Terminated {
 					b.Fatalf("anatomy run: %v %v", r, err)
 				}
@@ -140,7 +140,7 @@ func runBenchSuite(w io.Writer, quick bool, label string) error {
 	var soDB []logic.Atom
 	for {
 		soRules = workload.RandomInclusionDependencies(rng, 12, 6, 40)
-		dres, err := core.DecideLinear(soRules, core.VariantSemiOblivious, core.Options{})
+		dres, err := core.DecideLinearContext(context.Background(), soRules, core.VariantSemiOblivious, core.Options{})
 		if err != nil {
 			return err
 		}
@@ -148,7 +148,7 @@ func runBenchSuite(w io.Writer, quick bool, label string) error {
 			continue
 		}
 		soDB = workload.RandomABox(rng, soRules, abox, 300)
-		trial, err := chase.RunFromAtoms(soDB, soRules, chase.SemiOblivious,
+		trial, err := chase.RunFromAtomsContext(context.Background(), soDB, soRules, chase.SemiOblivious,
 			chase.Options{MaxFacts: 120_000, MaxTriggers: 120_000})
 		if err != nil {
 			return err
@@ -163,7 +163,7 @@ func runBenchSuite(w io.Writer, quick bool, label string) error {
 		res := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				r, err := chase.RunFromAtoms(soDB, soRules, v, chase.Options{MaxFacts: 500_000, MaxTriggers: 500_000})
+				r, err := chase.RunFromAtomsContext(context.Background(), soDB, soRules, v, chase.Options{MaxFacts: 500_000, MaxTriggers: 500_000})
 				if err != nil || r.Outcome != chase.Terminated {
 					b.Fatalf("scale run: %v %v", r, err)
 				}
@@ -232,7 +232,7 @@ func runBenchSuite(w io.Writer, quick bool, label string) error {
 	res = testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			r, err := core.DecideLinear(pfRules, core.VariantSemiOblivious, core.Options{})
+			r, err := core.DecideLinearContext(context.Background(), pfRules, core.VariantSemiOblivious, core.Options{})
 			if err != nil || r.Verdict.Answer != core.Terminating {
 				b.Fatalf("direct: %+v %v", r, err)
 			}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -111,7 +112,7 @@ func main() {
 }
 
 func decideLin(rs *logic.RuleSet, v core.ChaseVariant) core.Answer {
-	res, err := core.DecideLinear(rs, v, core.Options{})
+	res, err := core.DecideLinearContext(context.Background(), rs, v, core.Options{})
 	if err != nil {
 		panic(err)
 	}
@@ -119,7 +120,7 @@ func decideLin(rs *logic.RuleSet, v core.ChaseVariant) core.Answer {
 }
 
 func oracle(rs *logic.RuleSet, v chase.Variant, budget int) core.Answer {
-	res, err := critical.Oracle(rs, v, chase.Options{MaxTriggers: budget, MaxFacts: budget})
+	res, err := critical.OracleContext(context.Background(), rs, v, chase.Options{MaxTriggers: budget, MaxFacts: budget})
 	if err != nil {
 		panic(err)
 	}
@@ -138,13 +139,13 @@ func runE1(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, "| variant | triggers applied | facts derived | outcome |")
 	fmt.Fprintln(w, "|---|---|---|---|")
 	for _, v := range []chase.Variant{chase.Oblivious, chase.SemiOblivious, chase.Restricted} {
-		res, err := chase.RunFromAtoms(db, rules, v, chase.Options{MaxTriggers: 1000})
+		res, err := chase.RunFromAtomsContext(context.Background(), db, rules, v, chase.Options{MaxTriggers: 1000})
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(w, "| %s | %d | %d | %s |\n", v, res.Stats.TriggersApplied, res.Stats.FactsAdded, res.Outcome)
 	}
-	v, err := core.Decide(rules, core.VariantSemiOblivious, core.DecideOptions{})
+	v, err := core.DecideContext(context.Background(), rules, core.VariantSemiOblivious, core.DecideOptions{})
 	if err != nil {
 		return err
 	}
@@ -160,7 +161,7 @@ func runE2(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, "\n| steps i | facts |")
 	fmt.Fprintln(w, "|---|---|")
 	for _, steps := range []int{1, 5, 25, 125} {
-		res, err := chase.RunFromAtoms(db, rules, chase.SemiOblivious, chase.Options{MaxTriggers: steps})
+		res, err := chase.RunFromAtomsContext(context.Background(), db, rules, chase.SemiOblivious, chase.Options{MaxTriggers: steps})
 		if err != nil {
 			return err
 		}
@@ -270,13 +271,13 @@ func runE6(w io.Writer, quick bool) error {
 		closed := workload.SLFamily(n, true)
 		open := workload.SLFamily(n, false)
 		t0 := time.Now()
-		rc, err := core.DecideLinear(closed, core.VariantSemiOblivious, core.Options{})
+		rc, err := core.DecideLinearContext(context.Background(), closed, core.VariantSemiOblivious, core.Options{})
 		if err != nil {
 			return err
 		}
 		dtClosed := time.Since(t0)
 		t0 = time.Now()
-		ro, err := core.DecideLinear(open, core.VariantSemiOblivious, core.Options{})
+		ro, err := core.DecideLinearContext(context.Background(), open, core.VariantSemiOblivious, core.Options{})
 		if err != nil {
 			return err
 		}
@@ -300,7 +301,7 @@ func runE7(w io.Writer, quick bool) error {
 	for _, arity := range arities {
 		rs := workload.LinearArityFamily(arity)
 		t0 := time.Now()
-		res, err := core.DecideLinear(rs, core.VariantSemiOblivious, core.Options{MaxShapes: 5_000_000})
+		res, err := core.DecideLinearContext(context.Background(), rs, core.VariantSemiOblivious, core.Options{MaxShapes: 5_000_000})
 		if err != nil {
 			return err
 		}
@@ -314,7 +315,7 @@ func runE7(w io.Writer, quick bool) error {
 	for _, n := range []int{8, 32, 128} {
 		rs := workload.RandomLinear(rng, workload.Config{NumPreds: 4, MaxArity: 2, NumRules: n, RepeatProb: 0.4})
 		t0 := time.Now()
-		res, err := core.DecideLinear(rs, core.VariantSemiOblivious, core.Options{})
+		res, err := core.DecideLinearContext(context.Background(), rs, core.VariantSemiOblivious, core.Options{})
 		if err != nil {
 			return err
 		}
@@ -333,7 +334,7 @@ func runE8(w io.Writer, quick bool) error {
 	agree, terminating := 0, 0
 	for i := 0; i < n; i++ {
 		rs := workload.RandomGuarded(rng, workload.Config{NumPreds: 3, MaxArity: 2, NumRules: 3, MaxSideAtoms: 2})
-		res, err := core.DecideGuarded(rs, core.Options{})
+		res, err := core.DecideGuardedContext(context.Background(), rs, core.Options{})
 		if err != nil {
 			return err
 		}
@@ -358,7 +359,7 @@ func runE8(w io.Writer, quick bool) error {
 	for _, arity := range arities {
 		rs := workload.GuardedArityFamily(arity)
 		t0 := time.Now()
-		res, err := core.DecideGuarded(rs, core.Options{})
+		res, err := core.DecideGuardedContext(context.Background(), rs, core.Options{})
 		if err != nil {
 			return err
 		}
@@ -391,7 +392,7 @@ func runE9(w io.Writer, quick bool) error {
 		cases = append(cases, c{fmt.Sprintf("counter(%d)", b), looping.Counter(b)})
 	}
 	for _, tc := range cases {
-		ent, err := looping.Entailed(tc.inst, chase.Options{})
+		ent, err := looping.EntailedContext(context.Background(), tc.inst, chase.Options{})
 		if err != nil {
 			return err
 		}
@@ -400,7 +401,7 @@ func runE9(w io.Writer, quick bool) error {
 			return err
 		}
 		t0 := time.Now()
-		res, err := core.DecideLinear(looped, core.VariantSemiOblivious, core.Options{MaxShapes: 5_000_000})
+		res, err := core.DecideLinearContext(context.Background(), looped, core.VariantSemiOblivious, core.Options{MaxShapes: 5_000_000})
 		if err != nil {
 			return err
 		}
@@ -426,7 +427,7 @@ func runE10(w io.Writer, quick bool) error {
 	fmt.Fprintln(w, "|---|---|---|---|---|---|")
 	for _, sc := range scenarios {
 		for _, v := range []chase.Variant{chase.Oblivious, chase.SemiOblivious, chase.Restricted} {
-			res, err := chase.RunFromAtoms(sc.db, sc.rules, v, chase.Options{})
+			res, err := chase.RunFromAtomsContext(context.Background(), sc.db, sc.rules, v, chase.Options{})
 			if err != nil {
 				return err
 			}
@@ -493,7 +494,7 @@ func runE12(w io.Writer, quick bool) error {
 	}
 	for i := 0; i < nG; i++ {
 		rs := workload.RandomGuarded(rng, workload.Config{NumPreds: 3, MaxArity: 2, NumRules: 2, MaxSideAtoms: 1})
-		res, err := core.DecideGuarded(critical.AuxTransform(rs), core.Options{})
+		res, err := core.DecideGuardedContext(context.Background(), critical.AuxTransform(rs), core.Options{})
 		if err != nil {
 			return err
 		}
@@ -528,7 +529,7 @@ func runE13(w io.Writer, quick bool) error {
 		{"invent-rule priority", inventFirst, chase.OrderRulePriority},
 		{"repair-rule priority", repairFirst, chase.OrderRulePriority},
 	} {
-		res, err := chase.RunFromAtoms(parse.MustParseFacts(`r(a,b).`), s.rules, chase.Restricted,
+		res, err := chase.RunFromAtomsContext(context.Background(), parse.MustParseFacts(`r(a,b).`), s.rules, chase.Restricted,
 			chase.Options{Order: s.order, MaxTriggers: 2000})
 		if err != nil {
 			return err

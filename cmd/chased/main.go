@@ -195,6 +195,7 @@ func run(ctx context.Context, cfg config, logger *slog.Logger, ready func(net.Ad
 		// per-job timeout, so the drain completes within roughly one
 		// JobTimeout; the grace period adds headroom for the final writes.
 		logger.Info("shutting down, draining in-flight requests")
+		//chaselint:ignore ctxflow the serve ctx is already done here; the drain deadline needs a detached root
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.timeout+5*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {

@@ -1,0 +1,90 @@
+// Command chaselint runs the project's static-analysis suite
+// (internal/lint) over the module: six analyzers enforcing the
+// invariants the runtime tests pin — the allocation-free hot path,
+// context flow, lock discipline, goroutine drains, the deprecation
+// boundary, and the json-tagged wire contract.
+//
+// Usage:
+//
+//	chaselint [-json] [-o report.json] [-C dir] [packages]
+//
+// Packages default to ./... relative to the enclosing module. Findings
+// print one per line as file:line: analyzer: message (-json switches to
+// the machine-readable report); the exit status is 1 when there are
+// findings, 2 on a load or usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"chaseterm/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("chaselint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "print the report as JSON instead of one finding per line")
+	reportPath := fs.String("o", "", "also write the JSON report to this file (for CI artifacts)")
+	chdir := fs.String("C", "", "analyze the module containing this directory (default: the working directory)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dir := *chdir
+	if dir == "" {
+		dir = "."
+	}
+
+	loader, err := lint.NewLoader(dir)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	report := lint.Run(loader, pkgs, lint.All())
+
+	if *reportPath != "" {
+		f, err := os.Create(*reportPath)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		werr := report.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintln(stderr, werr)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := report.WriteJSON(stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else if err := report.WriteText(stdout); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(report.Findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "chaselint: %d finding(s) across %d package(s)\n", len(report.Findings), report.Packages)
+		}
+		return 1
+	}
+	return 0
+}

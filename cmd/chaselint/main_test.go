@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate repository root")
+	}
+	return filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
+}
+
+func tempFile(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+// TestExitCodes pins the CLI contract: 0 on a clean tree, 1 on
+// findings, 2 on a load error.
+func TestExitCodes(t *testing.T) {
+	root := repoRoot(t)
+	stdout, stderr := tempFile(t), tempFile(t)
+
+	// The lint package itself is clean.
+	if code := run([]string{"-C", root, "./internal/lint"}, stdout, stderr); code != 0 {
+		data, _ := os.ReadFile(stdout.Name())
+		t.Errorf("clean package: exit %d, want 0\n%s", code, data)
+	}
+
+	// The hotpath fixture is seeded with violations.
+	if code := run([]string{"-C", root, "internal/lint/testdata/src/hotpath"}, stdout, stderr); code != 1 {
+		t.Errorf("fixture package: exit %d, want 1", code)
+	}
+
+	// A directory outside any module cannot load.
+	if code := run([]string{"-C", t.TempDir()}, stdout, stderr); code != 2 {
+		t.Errorf("no module: exit %d, want 2", code)
+	}
+}
+
+// TestJSONReportFile pins the -o artifact: a machine-readable report CI
+// uploads even when the run fails.
+func TestJSONReportFile(t *testing.T) {
+	root := repoRoot(t)
+	stdout, stderr := tempFile(t), tempFile(t)
+	reportPath := filepath.Join(t.TempDir(), "report.json")
+
+	code := run([]string{"-C", root, "-json", "-o", reportPath, "internal/lint/testdata/src/api"}, stdout, stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	data, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		Packages int `json:"packages"`
+		Findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		} `json:"findings"`
+	}
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, data)
+	}
+	if len(report.Findings) == 0 {
+		t.Fatal("api fixture produced no findings")
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer != "wiretags" || f.File == "" || f.Line == 0 {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+
+	// stdout got the same JSON document.
+	stdoutData, err := os.ReadFile(stdout.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(stdoutData) {
+		t.Errorf("-json stdout is not valid JSON:\n%s", stdoutData)
+	}
+}

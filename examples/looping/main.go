@@ -35,7 +35,7 @@ reach(a).
 		inst := chaseterm.EntailmentInstance{Rules: rules, DB: db, Goal: goal}
 
 		// Ground truth by direct saturation.
-		truth, err := chaseterm.Entails(inst)
+		truth, err := chaseterm.EntailsContext(ctx, inst)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -95,6 +95,33 @@ func TestHeadSatisfiedAllocFree(t *testing.T) {
 	}
 }
 
+func TestDiscoverRediscoveryAllocFree(t *testing.T) {
+	e, in := saturatedEngine(t, "e(X,Y) -> r(X,Y).", chainDB(16), SemiOblivious)
+	a, _ := in.Terms.LookupConst("a3")
+	b, _ := in.Terms.LookupConst("a4")
+	ep, ok := in.LookupPred("e")
+	if !ok {
+		t.Fatal("setup: predicate e missing")
+	}
+	fid, ok := in.Lookup(ep, []instance.TermID{a, b})
+	if !ok {
+		t.Fatal("setup: anchor fact missing")
+	}
+	e.discover(fid) // first discovery enqueues and warms the queue/arena
+	enq := e.stats.TriggersEnqueued
+	if enq == 0 {
+		t.Fatal("setup: discovery found no triggers")
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		e.discover(fid)
+	}); n != 0 {
+		t.Errorf("re-discovery allocates %v per run, want 0", n)
+	}
+	if e.stats.TriggersEnqueued != enq {
+		t.Fatal("re-discovered triggers must dedup, not enqueue")
+	}
+}
+
 // TestSteadyStateRunAllocsPerTrigger runs a whole chase over an already
 // saturated instance — every application is a no-op, every rediscovered
 // trigger a dedup hit — and bounds the measured allocations per applied

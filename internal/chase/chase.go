@@ -513,6 +513,8 @@ func compileHeadPattern(in *instance.Instance, frontier []logic.Variable, head [
 // the variant's trigger identity. A duplicate offer — the steady state of
 // a saturating run — performs zero allocations: the identity key is hashed
 // from the binding in place and compared against the tuple-set arena.
+//
+//chaselint:hotpath
 func (e *Engine) offer(rule int, binding []instance.TermID) {
 	cr := &e.rules[rule]
 	var key []instance.TermID
@@ -533,6 +535,10 @@ func (e *Engine) offer(rule int, binding []instance.TermID) {
 	e.stats.TriggersEnqueued++
 }
 
+// scratchFrontier projects the binding onto the rule frontier using the
+// engine's reusable scratch buffer.
+//
+//chaselint:hotpath
 func (e *Engine) scratchFrontier(cr *compiledRule, binding []instance.TermID) []instance.TermID {
 	e.scratch = e.scratch[:0]
 	for _, vi := range cr.frontier {
@@ -563,6 +569,8 @@ func canceled(done <-chan struct{}) bool {
 }
 
 // Run executes the chase to termination or budget exhaustion.
+//
+// Deprecated: use RunContext so the run can be canceled.
 func (e *Engine) Run() (*Result, error) {
 	return e.RunContext(context.Background())
 }
@@ -585,6 +593,8 @@ func (e *Engine) RunStreamContext(ctx context.Context, sink StreamSink) (*Result
 // statistics up to the stopping point — is returned together with
 // ctx.Err(), so callers can either propagate the error or inspect how
 // far the run got.
+//
+//chaselint:hotpath
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
 	done := ctx.Done() // nil for context.Background(): checks compile out
 	e.stats.InitialFacts = e.in.Size()
@@ -675,6 +685,8 @@ func (e *Engine) result(outcome Outcome) *Result {
 // headSatisfied reports whether the head of cr, with its frontier bound to
 // fr, already has a homomorphism into the instance. Allocation-free: it
 // reuses the engine's match scratch.
+//
+//chaselint:hotpath
 func (e *Engine) headSatisfied(cr *compiledRule, fr []instance.TermID) bool {
 	return e.in.HasHomWith(&e.match, cr.headPattern, fr)
 }
@@ -684,6 +696,8 @@ func (e *Engine) headSatisfied(cr *compiledRule, fr []instance.TermID) bool {
 // facts, and discovers the new triggers they enable. The existential and
 // argument buffers are pooled on the engine, so an application whose facts
 // all exist already (a steady-state no-op) allocates nothing.
+//
+//chaselint:hotpath
 func (e *Engine) apply(cr *compiledRule, fr []instance.TermID) (added int, maxDepth int32) {
 	// Birth depth for fresh nulls: one more than the deepest frontier term.
 	var birth int32
@@ -742,6 +756,8 @@ func (e *Engine) apply(cr *compiledRule, fr []instance.TermID) (added int, maxDe
 // body atom with a matching predicate, homomorphisms that map that atom to
 // fid. The per-variant trigger identity deduplicates homomorphisms found
 // through several anchors.
+//
+//chaselint:hotpath
 func (e *Engine) discover(fid instance.FactID) {
 	pred := e.in.Fact(fid).Pred
 	for _, ra := range e.byPred[pred] {
@@ -752,6 +768,8 @@ func (e *Engine) discover(fid instance.FactID) {
 }
 
 // Run is the package-level convenience: compile and run in one call.
+//
+// Deprecated: use RunContext so the run can be canceled.
 func Run(in *instance.Instance, rs *logic.RuleSet, v Variant, opt Options) (*Result, error) {
 	return RunContext(context.Background(), in, rs, v, opt)
 }
@@ -767,6 +785,8 @@ func RunContext(ctx context.Context, in *instance.Instance, rs *logic.RuleSet, v
 }
 
 // RunFromAtoms runs the chase over a database given as ground atoms.
+//
+// Deprecated: use RunFromAtomsContext so the run can be canceled.
 func RunFromAtoms(db []logic.Atom, rs *logic.RuleSet, v Variant, opt Options) (*Result, error) {
 	return RunFromAtomsContext(context.Background(), db, rs, v, opt)
 }

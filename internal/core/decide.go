@@ -63,6 +63,8 @@ func (o DecideOptions) withDefaults() DecideOptions {
 //     within budget proves termination (Marnette's lemma makes the critical
 //     instance complete for non-termination too, but an infinite run can
 //     only be cut off, so the negative direction stays Unknown).
+//
+// Deprecated: use DecideContext so long analyses can be canceled.
 func Decide(rs *logic.RuleSet, v ChaseVariant, opt DecideOptions) (*Verdict, error) {
 	return DecideContext(context.Background(), rs, v, opt)
 }

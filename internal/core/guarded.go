@@ -348,6 +348,8 @@ type GuardedResult struct {
 // forest is rooted at the critical instance, so the verdict quantifies
 // over all databases. For CT^o, apply the aux-atom transformation first
 // (the Decide front door and the façade do this automatically).
+//
+// Deprecated: use DecideGuardedContext so the forest search can be canceled.
 func DecideGuarded(rs *logic.RuleSet, opt Options) (*GuardedResult, error) {
 	return decideGuardedSeeded(context.Background(), rs, nil, opt)
 }
@@ -365,6 +367,8 @@ func DecideGuardedContext(ctx context.Context, rs *logic.RuleSet, opt Options) (
 // critical instance, only on it being ground, so rooting it at the
 // database decides termination for exactly that input (an extension beyond
 // the paper's all-instance theorem).
+//
+// Deprecated: use DecideGuardedOnContext so the forest search can be canceled.
 func DecideGuardedOn(rs *logic.RuleSet, db []logic.Atom, opt Options) (*GuardedResult, error) {
 	return DecideGuardedOnContext(context.Background(), rs, db, opt)
 }

@@ -279,6 +279,8 @@ type LinearResult struct {
 // critical instance I*(Σ), making the verdict quantify over all databases
 // (Marnette's lemma; package critical). It returns an error if some rule
 // is not linear or a budget is exceeded.
+//
+// Deprecated: use DecideLinearContext so the shape search can be canceled.
 func DecideLinear(rs *logic.RuleSet, v ChaseVariant, opt Options) (*LinearResult, error) {
 	return decideLinearSeeded(context.Background(), rs, v, nil, opt)
 }
@@ -296,6 +298,8 @@ func DecideLinearContext(ctx context.Context, rs *logic.RuleSet, v ChaseVariant,
 // the same shape abstraction applies, seeded with the database's atom
 // shapes instead of the critical instance: the pumping and provenance
 // arguments never used criticality of the seed, only its groundness).
+//
+// Deprecated: use DecideLinearOnContext so the shape search can be canceled.
 func DecideLinearOn(rs *logic.RuleSet, db []logic.Atom, v ChaseVariant, opt Options) (*LinearResult, error) {
 	return DecideLinearOnContext(context.Background(), rs, db, v, opt)
 }

@@ -159,6 +159,8 @@ func IsAuxPredicate(name string) bool { return strings.HasPrefix(name, AuxPrefix
 // CT^o); a budget outcome is inconclusive on its own but is used by tests
 // to corroborate a decider's non-termination verdict (the budgets are
 // chosen far beyond the saturation sizes of the terminating workloads).
+//
+// Deprecated: use OracleContext so the chase can be canceled.
 func Oracle(rs *logic.RuleSet, v chase.Variant, opt chase.Options) (*chase.Result, error) {
 	return OracleContext(context.Background(), rs, v, opt)
 }
@@ -206,6 +208,8 @@ func (r MFAResult) String() string {
 // This is the classic sufficient acyclicity test positioned between weak
 // acyclicity and the paper's exact deciders; internal/core uses it as the
 // fallback for rule sets outside the guarded class.
+//
+// Deprecated: use MFAContext so the chase can be canceled.
 func MFA(rs *logic.RuleSet, opt chase.Options) (MFAResult, *chase.Result, error) {
 	return MFAContext(context.Background(), rs, opt)
 }

@@ -119,6 +119,38 @@ func TestFindHomsWithScratchAllocFree(t *testing.T) {
 	}
 }
 
+func TestFindHomsAnchoredWithAllocFree(t *testing.T) {
+	in, e, terms := buildChainInstance(64)
+	pat, err := CompileBody(in, []logic.Atom{
+		logic.NewAtom("e", logic.Variable("X"), logic.Variable("Y")),
+		logic.NewAtom("e", logic.Variable("Y"), logic.Variable("Z")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchorFact, ok := in.Lookup(e, []TermID{terms[7], terms[8]})
+	if !ok {
+		t.Fatal("setup: anchor fact missing")
+	}
+	var sc MatchScratch
+	count := 0
+	yield := func([]TermID) bool { count++; return true }
+	in.FindHomsAnchoredWith(&sc, pat, 0, anchorFact, yield) // warm the scratch
+	want := count
+	if want == 0 {
+		t.Fatal("setup: no anchored homomorphisms")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		count = 0
+		in.FindHomsAnchoredWith(&sc, pat, 0, anchorFact, yield)
+		if count != want {
+			t.Fatalf("anchored homs: %d, want %d", count, want)
+		}
+	}); n != 0 {
+		t.Errorf("FindHomsAnchoredWith allocates %v per run, want 0", n)
+	}
+}
+
 func TestFindHomsRejectsOversizedInitial(t *testing.T) {
 	in, _, _ := buildChainInstance(8)
 	pat, err := CompileBody(in, []logic.Atom{

@@ -81,6 +81,8 @@ func (s *TupleSet) keyAt(id int32) (int32, []TermID) {
 // Insert adds (tag, tuple) if absent. It returns the member id and whether
 // the key was newly added. The tuple is copied into the arena on a miss;
 // a hit allocates nothing.
+//
+//chaselint:hotpath
 func (s *TupleSet) Insert(tag int32, tuple []TermID) (int32, bool) {
 	if len(s.slots) == 0 {
 		s.grow(16)
@@ -110,6 +112,8 @@ func (s *TupleSet) Insert(tag int32, tuple []TermID) (int32, bool) {
 }
 
 // Contains reports whether (tag, tuple) is a member.
+//
+//chaselint:hotpath
 func (s *TupleSet) Contains(tag int32, tuple []TermID) bool {
 	if len(s.slots) == 0 {
 		return false

@@ -295,6 +295,8 @@ func (sc *MatchScratch) prepare(p *Pattern) []TermID {
 // matchAtomInto unifies the pattern atom with the fact under the current
 // binding. Variables newly bound are recorded in *undo (reset first) for
 // backtracking; on failure the binding is restored and false returned.
+//
+//chaselint:hotpath
 func matchAtomInto(pa *PatternAtom, f Fact, binding []TermID, undo *[]int32) bool {
 	u := (*undo)[:0]
 	for i, s := range pa.Args {
@@ -332,6 +334,8 @@ func undoBinding(binding []TermID, bound []int32) {
 // current binding, choosing the most selective available access path: the
 // shortest (pred, pos, term) index chain among the ground argument
 // positions, else the full predicate extent. Allocation-free.
+//
+//chaselint:hotpath
 func (in *Instance) candSource(pa *PatternAtom, binding []TermID) candSrc {
 	ext := in.byPred[pa.Pred]
 	best := candSrc{list: ext, n: int32(len(ext))}
@@ -362,6 +366,8 @@ func (in *Instance) candSource(pa *PatternAtom, binding []TermID) candSrc {
 // It reports whether the enumeration ran to completion. A nil yield is
 // the allocation-free existence check: the enumeration "stops" (returns
 // false) at the first complete match.
+//
+//chaselint:hotpath
 func (in *Instance) runPlan(p *Pattern, order []int32, sc *MatchScratch, binding []TermID, yield func([]TermID) bool) bool {
 	n := len(order)
 	if n == 0 {
@@ -425,6 +431,8 @@ func checkInitial(p *Pattern, initial []TermID) {
 // Join order: the pattern's precompiled plan — atoms ordered by
 // selectivity class — with the access path per level (index posting list
 // vs full extent) still chosen at run time against the live binding.
+//
+//chaselint:hotpath
 func (in *Instance) FindHomsWith(sc *MatchScratch, p *Pattern, initial []TermID, yield func(binding []TermID) bool) bool {
 	checkInitial(p, initial)
 	p.Compile()
@@ -444,6 +452,8 @@ func (in *Instance) FindHoms(p *Pattern, initial []TermID, yield func(binding []
 // at index anchor is mapped exactly to the fact with id anchorFact. This
 // is the delta-matching primitive used by the chase engines: when a fact
 // is newly derived, only homomorphisms using it need to be discovered.
+//
+//chaselint:hotpath
 func (in *Instance) FindHomsAnchoredWith(sc *MatchScratch, p *Pattern, anchor int, anchorFact FactID, yield func(binding []TermID) bool) bool {
 	p.Compile()
 	binding := sc.prepare(p)
@@ -469,6 +479,8 @@ func (in *Instance) CountHoms(p *Pattern) int {
 
 // HasHomWith reports whether at least one homomorphism extending the
 // initial binding exists, using the caller's scratch. Allocation-free.
+//
+//chaselint:hotpath
 func (in *Instance) HasHomWith(sc *MatchScratch, p *Pattern, initial []TermID) bool {
 	checkInitial(p, initial)
 	p.Compile()

@@ -165,6 +165,8 @@ func factHash(p PredID, args []TermID) uint64 { return hashTuple(int32(p), args)
 
 // findFact probes the open-addressed fact table. It returns the id on a
 // hit, or the slot index where the fact would be inserted on a miss.
+//
+//chaselint:hotpath
 func (in *Instance) findFact(p PredID, args []TermID, h uint64) (FactID, uint64, bool) {
 	mask := uint64(len(in.factSlots) - 1)
 	i := h & mask
@@ -196,6 +198,8 @@ func (in *Instance) growFactSlots(size int) {
 
 // Add inserts the fact p(args...) if not already present. It returns the
 // fact id and whether the fact was newly added. The args slice is copied.
+//
+//chaselint:hotpath
 func (in *Instance) Add(p PredID, args []TermID) (FactID, bool) {
 	if len(in.factSlots) == 0 {
 		in.growFactSlots(16)
@@ -237,6 +241,8 @@ func (in *Instance) Add(p PredID, args []TermID) (FactID, bool) {
 
 // Contains reports whether the fact p(args...) is present. It performs no
 // allocation.
+//
+//chaselint:hotpath
 func (in *Instance) Contains(p PredID, args []TermID) bool {
 	if len(in.factSlots) == 0 {
 		return false
@@ -247,6 +253,8 @@ func (in *Instance) Contains(p PredID, args []TermID) bool {
 
 // Lookup returns the id of the fact p(args...) if present. Like Contains
 // it performs no allocation.
+//
+//chaselint:hotpath
 func (in *Instance) Lookup(p PredID, args []TermID) (FactID, bool) {
 	if len(in.factSlots) == 0 {
 		return 0, false

@@ -161,6 +161,8 @@ func (t *TermTable) SkolemFnBytes(name []byte) SkolemFnID {
 // Skolem interns the Skolem term fn(args...). Function symbols are unique
 // per (rule, existential variable) pair; the chase engine guarantees this.
 // Re-interning an existing term performs no allocation.
+//
+//chaselint:hotpath
 func (t *TermTable) Skolem(fn SkolemFnID, args []TermID) TermID {
 	if len(t.skSlots) == 0 {
 		t.growSkolemSlots(16)

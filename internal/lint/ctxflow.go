@@ -1,0 +1,56 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// analyzerCtxflow enforces the context-first discipline: library
+// packages never mint a fresh context.Background()/TODO() outside a
+// Deprecated wrapper, and a function that already receives a
+// context.Context must forward it — passing a freshly minted root
+// context to a context-accepting callee severs the caller's
+// cancellation chain.
+var analyzerCtxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "contexts flow down; Background/TODO only in main packages and Deprecated wrappers",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		forEachFuncBody(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			deprecated := decl.Doc != nil && hasDeprecatedParagraph(decl.Doc.Text())
+			hasCtx := funcHasCtxParam(p, decl)
+			ast.Inspect(body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !p.fullNameIs(call, "context.Background", "context.TODO") {
+					return true
+				}
+				switch {
+				case hasCtx:
+					p.Reportf(call.Pos(), "function receives a context.Context but mints a fresh root context; forward the parameter instead")
+				case p.isLibraryPackage() && !deprecated:
+					p.Reportf(call.Pos(), "context.Background()/TODO() in library code; accept a ctx parameter, or mark the wrapper Deprecated:")
+				}
+				return true
+			})
+		})
+	}
+}
+
+// funcHasCtxParam reports whether the declaration takes a
+// context.Context parameter (including the receiver, for completeness).
+func funcHasCtxParam(p *Pass, decl *ast.FuncDecl) bool {
+	if decl.Type.Params == nil {
+		return false
+	}
+	for _, field := range decl.Type.Params.List {
+		if isContextType(p.typeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,44 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// analyzerDeprecated keeps the tree off its own compatibility shims:
+// code must not use any module identifier whose doc carries a
+// "Deprecated:" paragraph. Exempt are uses inside functions that are
+// themselves Deprecated (a shim may delegate to another shim) — the
+// compatibility layer may reference itself, everything else moves to
+// the replacement the note names.
+var analyzerDeprecated = &Analyzer{
+	Name: "deprecated",
+	Doc:  "no calls to Deprecated identifiers outside the compatibility layer",
+	Run:  runDeprecated,
+}
+
+func runDeprecated(p *Pass) {
+	if len(p.Loader.deprecated) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		forEachFuncBody(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			if decl.Doc != nil && hasDeprecatedParagraph(decl.Doc.Text()) {
+				return
+			}
+			ast.Inspect(body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				obj := p.Pkg.Info.Uses[id]
+				if obj == nil {
+					return true
+				}
+				if note, dep := p.Loader.deprecated[obj]; dep {
+					p.Reportf(id.Pos(), "use of deprecated %s (%s)", id.Name, note)
+				}
+				return true
+			})
+		})
+	}
+}

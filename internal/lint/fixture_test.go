@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The fixture corpus under testdata/src seeds at least two violations
+// per analyzer, each marked with a // want `regex` comment on the line
+// it must be reported at. The harness demands an exact 1:1 match
+// between wants and findings: a missed want and an unexpected finding
+// are both failures.
+
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+func loadFixture(t *testing.T, name string) (*Loader, *Report) {
+	t.Helper()
+	loader, err := NewFixtureLoader(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, Run(loader, pkgs, All())
+}
+
+// fixtureWants scans the fixture directory for want comments, keyed by
+// loader-relative file and line.
+func fixtureWants(t *testing.T, name string) map[string][]*regexp.Regexp {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := map[string][]*regexp.Regexp{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regex %q: %v", e.Name(), i+1, m[1], err)
+				}
+				key := fmt.Sprintf("%s:%d", e.Name(), i+1)
+				wants[key] = append(wants[key], re)
+			}
+		}
+	}
+	return wants
+}
+
+func TestFixtureCorpus(t *testing.T) {
+	for _, name := range []string{"hotpath", "ctxflow", "lockguard", "goexit", "deprecated", "api"} {
+		t.Run(name, func(t *testing.T) {
+			_, report := loadFixture(t, name)
+			wants := fixtureWants(t, name)
+			if len(wants) < 2 {
+				t.Fatalf("fixture %s seeds %d violations, want at least 2", name, len(wants))
+			}
+			for _, f := range report.Findings {
+				key := fmt.Sprintf("%s:%d", f.File, f.Line)
+				text := f.Analyzer + ": " + f.Message
+				matched := -1
+				for i, re := range wants[key] {
+					if re != nil && re.MatchString(text) {
+						matched = i
+						break
+					}
+				}
+				if matched < 0 {
+					t.Errorf("unexpected finding %s", f)
+					continue
+				}
+				wants[key][matched] = nil // each want matches one finding
+			}
+			for key, res := range wants {
+				for _, re := range res {
+					if re != nil {
+						t.Errorf("%s: no finding matched want `%s`", key, re)
+					}
+				}
+			}
+		})
+	}
+}

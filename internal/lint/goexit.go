@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerGoexit enforces the goroutine-ownership rule distilled from
+// the portfolio racers: every go statement in library code must
+// reference a drain — a sync.WaitGroup Done, a channel send or close —
+// so the spawner (or someone it hands the channel to) can always wait
+// the goroutine out, or it must carry an explicit //chaselint:owned
+// directive whose reason documents who drains it. Goroutines whose body
+// is a named same-package function are checked through that function's
+// declaration.
+var analyzerGoexit = &Analyzer{
+	Name: "goexit",
+	Doc:  "every spawned goroutine references a drain or is //chaselint:owned",
+	Run:  runGoexit,
+}
+
+func runGoexit(p *Pass) {
+	if !p.isLibraryPackage() {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if p.directiveNear("owned", gs.Pos()) {
+				return true
+			}
+			if body := p.goBody(gs.Call); body != nil {
+				if p.bodyDrains(body) {
+					return true
+				}
+				p.Reportf(gs.Pos(), "goroutine has no visible drain (WaitGroup Done, channel send, or close); add one or annotate //chaselint:owned <reason>")
+				return true
+			}
+			p.Reportf(gs.Pos(), "goroutine body cannot be inspected for a drain; annotate //chaselint:owned <reason>")
+			return true
+		})
+	}
+}
+
+// goBody resolves the spawned function's body: a function literal
+// directly, or the declaration of a named function of this package.
+func (p *Pass) goBody(call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	fn := p.callee(call)
+	if fn == nil {
+		return nil
+	}
+	if decl, ok := p.Pkg.funcDecls[types.Object(fn)]; ok && decl.Body != nil {
+		return decl.Body
+	}
+	return nil
+}
+
+// bodyDrains reports whether the goroutine body contains a drain
+// marker: wg.Done(), a channel send, or close(ch).
+func (p *Pass) bodyDrains(body *ast.BlockStmt) bool {
+	drains := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if drains {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			drains = true
+		case *ast.CallExpr:
+			if p.isBuiltin(n, "close") {
+				drains = true
+				break
+			}
+			if fn := p.callee(n); fn != nil {
+				switch fn.FullName() {
+				case "(*sync.WaitGroup).Done", "(*sync.WaitGroup).Add":
+					drains = true
+				}
+			}
+		}
+		return !drains
+	})
+	return drains
+}

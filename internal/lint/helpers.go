@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// typeOf returns the type of an expression, or nil.
+func (p *Pass) typeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// callee returns the *types.Func a call statically resolves to — nil for
+// builtins, conversions, and calls through function values.
+func (p *Pass) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isConversion reports whether the call expression is a type conversion.
+func (p *Pass) isConversion(call *ast.CallExpr) bool {
+	tv, ok := p.Pkg.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func (p *Pass) isBuiltin(call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, isBuiltin := p.Pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// fullNameIs reports whether the call's callee has the given
+// types.Func.FullName (e.g. "(*sync.Mutex).Lock", "context.Background").
+func (p *Pass) fullNameIs(call *ast.CallExpr, names ...string) bool {
+	fn := p.callee(call)
+	if fn == nil {
+		return false
+	}
+	full := fn.FullName()
+	for _, n := range names {
+		if full == n {
+			return true
+		}
+	}
+	return false
+}
+
+// enclosingFuncs pairs every function body of a file with its
+// enclosing declaration: top-level FuncDecls and, separately, each
+// FuncLit. visit receives the doc comment of the nearest enclosing
+// FuncDecl (FuncLits inherit it).
+func forEachFuncBody(f *ast.File, visit func(decl *ast.FuncDecl, body *ast.BlockStmt)) {
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		visit(fd, fd.Body)
+	}
+}
+
+// funcHasDirective reports whether the function's doc comment carries
+// the given chaselint directive kind.
+func funcHasDirective(decl *ast.FuncDecl, kind string) bool {
+	if decl == nil || decl.Doc == nil {
+		return false
+	}
+	for _, c := range decl.Doc.List {
+		if k, _, _, ok := parseDirective(c.Text); ok && k == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// directiveNear reports whether the package carries a directive of the
+// given kind on the line of pos or the line directly above.
+func (p *Pass) directiveNear(kind string, pos token.Pos) bool {
+	position := p.Loader.Fset.Position(pos)
+	file := p.Loader.rel(position.Filename)
+	for i := range p.Pkg.directives {
+		d := &p.Pkg.directives[i]
+		if d.kind == kind && d.file == file && (d.line == position.Line || d.line == position.Line-1) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLibraryPackage reports whether the package is library code: not a
+// main package. Commands and examples own their process lifecycle and
+// are exempt from the library-only rules.
+func (p *Pass) isLibraryPackage() bool {
+	return p.Pkg.Types.Name() != "main"
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// signatureOf returns the signature of the called function value, or
+// nil for conversions and builtins.
+func (p *Pass) signatureOf(call *ast.CallExpr) *types.Signature {
+	if p.isConversion(call) {
+		return nil
+	}
+	sig, _ := p.typeOf(call.Fun).(*types.Signature)
+	return sig
+}

@@ -1,0 +1,194 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// analyzerHotpath enforces the zero-allocation contract of functions
+// annotated //chaselint:hotpath: no fmt calls, no allocating string
+// conversions, no map/slice/closure literals, and no interface boxing —
+// on non-panic paths. Code feeding a panic (the argument of a panic
+// call, or a block whose last statement panics) is exempt: the
+// diagnostics of a crash may allocate.
+var analyzerHotpath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "annotated hot functions must stay allocation-free on non-panic paths",
+	Run:  runHotpath,
+}
+
+func runHotpath(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		forEachFuncBody(f, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+			if funcHasDirective(decl, "hotpath") {
+				checkHotBody(p, decl, body)
+			}
+		})
+	}
+}
+
+func checkHotBody(p *Pass, decl *ast.FuncDecl, body *ast.BlockStmt) {
+	skip := panicPaths(p, body)
+	var results *types.Tuple
+	if sig, ok := p.typeOf(decl.Name).(*types.Signature); ok {
+		results = sig.Results()
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || skip[n] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.Reportf(n.Pos(), "closure literal in hot path (allocates; hoist it to a reusable field or named function)")
+			return false
+		case *ast.CompositeLit:
+			switch p.typeOf(n).Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal in hot path (allocates)")
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal in hot path (allocates; reuse a pooled buffer)")
+			}
+		case *ast.CallExpr:
+			checkHotCall(p, n, skip)
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Lhs {
+					reportBox(p, n.Rhs[i], p.typeOf(n.Lhs[i]), "assignment")
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				for _, v := range n.Values {
+					reportBox(p, v, p.typeOf(n.Type), "assignment")
+				}
+			}
+		case *ast.SendStmt:
+			if ch, ok := p.typeOf(n.Chan).Underlying().(*types.Chan); ok {
+				reportBox(p, n.Value, ch.Elem(), "channel send")
+			}
+		case *ast.ReturnStmt:
+			if results != nil && len(n.Results) == results.Len() {
+				for i, r := range n.Results {
+					reportBox(p, r, results.At(i).Type(), "return")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkHotCall flags fmt calls, allocating string conversions, and
+// arguments boxed into interface parameters.
+func checkHotCall(p *Pass, call *ast.CallExpr, skip map[ast.Node]bool) {
+	if fn := p.callee(call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		p.Reportf(call.Pos(), "call to fmt.%s in hot path (allocates and boxes its operands)", fn.Name())
+		return
+	}
+	if p.isConversion(call) {
+		if skip[call] { // map-index probe m[string(b)]: compiler-recognized, no allocation
+			return
+		}
+		to := p.typeOf(call).Underlying()
+		from := p.typeOf(call.Args[0]).Underlying()
+		if isStringType(to) && !isStringType(from) && !isUntypedConst(p, call.Args[0]) {
+			p.Reportf(call.Pos(), "string conversion in hot path (allocates)")
+		} else if isByteOrRuneSlice(to) && isStringType(from) {
+			p.Reportf(call.Pos(), "string-to-slice conversion in hot path (allocates)")
+		}
+		return
+	}
+	sig := p.signatureOf(call)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		reportBox(p, arg, pt, "argument")
+	}
+}
+
+// reportBox flags a concrete (non-interface) value flowing into an
+// interface-typed slot — the compiler boxes it, usually on the heap.
+func reportBox(p *Pass, val ast.Expr, to types.Type, what string) {
+	if to == nil || !types.IsInterface(to) {
+		return
+	}
+	vt := p.typeOf(val)
+	if vt == nil || types.IsInterface(vt) {
+		return
+	}
+	if b, ok := vt.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	p.Reportf(val.Pos(), "%s boxes %s into interface %s in hot path (allocates)", what, vt, to)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune || e.Kind() == types.Uint8 || e.Kind() == types.Int32)
+}
+
+func isUntypedConst(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// panicPaths collects the subtrees exempt from the hot-path rules: the
+// arguments of panic calls, and every block whose final statement is a
+// panic (the idiomatic "build the message, then crash" shape). It also
+// marks string conversions used directly as map indexes, which the
+// compiler performs without allocating.
+func panicPaths(p *Pass, body *ast.BlockStmt) map[ast.Node]bool {
+	skip := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if p.isBuiltin(n, "panic") {
+				for _, a := range n.Args {
+					skip[a] = true
+				}
+			}
+		case *ast.BlockStmt:
+			if len(n.List) > 0 && isPanicStmt(p, n.List[len(n.List)-1]) {
+				skip[n] = true
+			}
+		case *ast.IndexExpr:
+			if _, isMap := p.typeOf(n.X).Underlying().(*types.Map); !isMap {
+				break
+			}
+			if conv, ok := ast.Unparen(n.Index).(*ast.CallExpr); ok && p.isConversion(conv) {
+				skip[conv] = true
+			}
+		}
+		return true
+	})
+	return skip
+}
+
+func isPanicStmt(p *Pass, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	return ok && p.isBuiltin(call, "panic")
+}

@@ -1,0 +1,278 @@
+// Package lint implements chaselint, the project's static-analysis
+// suite. It enforces the invariants the codebase has accreted over its
+// growth — the allocation-free trigger loop, context-first APIs,
+// Lock/Unlock discipline, drained goroutines, no reach into deprecated
+// wrappers, and json-tagged wire structs — at compile time, before the
+// runtime tests (-race, AllocsPerRun) ever run.
+//
+// The suite is dependency-free: it loads and type-checks the module with
+// nothing but go/parser, go/ast and go/types (see load.go), matching the
+// no-third-party-deps stance of internal/obs.
+//
+// # Analyzers
+//
+//   - hotpath: functions annotated //chaselint:hotpath may not contain
+//     fmt calls, allocating string conversions, map/slice/closure
+//     literals, or interface boxing on non-panic paths.
+//   - ctxflow: context.Background()/TODO() is forbidden in library
+//     packages except inside Deprecated wrappers, and a function that
+//     receives a context must forward it rather than minting a fresh one.
+//   - lockguard: every mu.Lock() pairs with a defer mu.Unlock() or an
+//     Unlock on all return paths of the same function.
+//   - goexit: every go statement in library code references a drain
+//     (WaitGroup, channel send/close) or carries //chaselint:owned.
+//   - deprecated: non-deprecated code must not call identifiers whose
+//     doc carries a "Deprecated:" paragraph.
+//   - wiretags: exported struct fields in api packages carry json tags.
+//
+// # Directives
+//
+//   - //chaselint:hotpath            (in a function's doc comment)
+//   - //chaselint:owned <reason>     (on or above a go statement)
+//   - //chaselint:ignore <analyzer> <reason>  (on or above the finding)
+//
+// Malformed directives — an unknown verb, an ignore without a known
+// analyzer name or without a reason, an owned without a reason — are
+// themselves findings, reported under the pseudo-analyzer "directive".
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Finding is one reported invariant violation.
+type Finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", f.File, f.Line, f.Analyzer, f.Message)
+}
+
+// Report is the result of one chaselint run, serializable as the -json
+// output and the CI artifact.
+type Report struct {
+	Packages  int       `json:"packages"`
+	Analyzers []string  `json:"analyzers"`
+	Findings  []Finding `json:"findings"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteText renders the findings one per line as file:line: analyzer:
+// message.
+func (r *Report) WriteText(w io.Writer) error {
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Analyzer is one project-invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		analyzerHotpath,
+		analyzerCtxflow,
+		analyzerLockguard,
+		analyzerGoexit,
+		analyzerDeprecated,
+		analyzerWiretags,
+	}
+}
+
+// analyzerNames is the set of names valid in an ignore directive.
+func analyzerNames() map[string]bool {
+	names := map[string]bool{}
+	for _, a := range All() {
+		names[a.Name] = true
+	}
+	return names
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Loader   *Loader
+	Pkg      *Package
+	analyzer *Analyzer
+	findings *[]Finding
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Loader.Fset.Position(pos)
+	*p.findings = append(*p.findings, Finding{
+		File:     p.Loader.rel(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Analyzer: p.analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the packages and returns the report
+// with suppressed findings removed and the rest sorted by position.
+func Run(l *Loader, pkgs []*Package, analyzers []*Analyzer) *Report {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		findings = append(findings, checkDirectives(l, pkg)...)
+		for _, a := range analyzers {
+			pass := &Pass{Loader: l, Pkg: pkg, analyzer: a, findings: &findings}
+			a.Run(pass)
+		}
+	}
+	findings = suppress(pkgs, findings)
+	sort.Slice(findings, func(i, j int) bool {
+		if findings[i].File != findings[j].File {
+			return findings[i].File < findings[j].File
+		}
+		if findings[i].Line != findings[j].Line {
+			return findings[i].Line < findings[j].Line
+		}
+		return findings[i].Analyzer < findings[j].Analyzer
+	})
+	names := make([]string, len(analyzers))
+	for i, a := range analyzers {
+		names[i] = a.Name
+	}
+	if findings == nil {
+		findings = []Finding{} // render as [] rather than null in -json
+	}
+	return &Report{Packages: len(pkgs), Analyzers: names, Findings: findings}
+}
+
+// checkDirectives validates every chaselint directive of the package and
+// reports the malformed ones under the "directive" pseudo-analyzer.
+func checkDirectives(l *Loader, pkg *Package) []Finding {
+	known := analyzerNames()
+	var out []Finding
+	report := func(d *directive, msg string) {
+		position := l.Fset.Position(d.pos)
+		out = append(out, Finding{
+			File:     l.rel(position.Filename),
+			Line:     position.Line,
+			Col:      position.Column,
+			Analyzer: "directive",
+			Message:  msg,
+		})
+	}
+	for i := range pkg.directives {
+		d := &pkg.directives[i]
+		switch d.kind {
+		case "hotpath":
+			// No operands; trailing text is tolerated as commentary.
+		case "owned":
+			if d.reason == "" {
+				report(d, "chaselint:owned requires a reason documenting the goroutine's drain")
+			}
+		case "ignore":
+			switch {
+			case d.analyzer == "":
+				report(d, "chaselint:ignore requires an analyzer name and a reason")
+			case !known[d.analyzer]:
+				report(d, fmt.Sprintf("chaselint:ignore names unknown analyzer %q", d.analyzer))
+			case d.reason == "":
+				report(d, fmt.Sprintf("chaselint:ignore %s requires a reason", d.analyzer))
+			}
+		default:
+			report(d, fmt.Sprintf("unknown chaselint directive %q", d.kind))
+		}
+	}
+	return out
+}
+
+// suppress drops findings covered by a well-formed ignore directive on
+// the same line or the line directly above. Directive findings are never
+// suppressible.
+func suppress(pkgs []*Package, findings []Finding) []Finding {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	ignores := map[key]bool{}
+	for _, pkg := range pkgs {
+		for i := range pkg.directives {
+			d := &pkg.directives[i]
+			if d.kind != "ignore" || d.analyzer == "" || d.reason == "" {
+				continue
+			}
+			ignores[key{d.file, d.line, d.analyzer}] = true
+		}
+	}
+	if len(ignores) == 0 {
+		return findings
+	}
+	kept := findings[:0]
+	for _, f := range findings {
+		if f.Analyzer != "directive" &&
+			(ignores[key{f.File, f.Line, f.Analyzer}] || ignores[key{f.File, f.Line - 1, f.Analyzer}]) {
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept
+}
+
+// directive is one parsed //chaselint:... comment.
+type directive struct {
+	kind     string // hotpath | owned | ignore | (unknown verbs kept verbatim)
+	analyzer string // ignore only
+	reason   string
+	file     string // loader-relative
+	line     int
+	pos      token.Pos
+}
+
+const directivePrefix = "//chaselint:"
+
+// parseDirective parses one comment line; ok is false for ordinary
+// comments.
+func parseDirective(text string) (kind, analyzer, reason string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", "", false
+	}
+	rest := text[len(directivePrefix):]
+	kind, rest, _ = strings.Cut(rest, " ")
+	rest = strings.TrimSpace(rest)
+	if kind == "ignore" {
+		analyzer, reason, _ = strings.Cut(rest, " ")
+		reason = strings.TrimSpace(reason)
+	} else {
+		reason = rest
+	}
+	return kind, analyzer, reason, true
+}
+
+// hasDeprecatedParagraph reports whether a doc comment text carries the
+// standard "Deprecated:" marker (a line starting with it).
+func hasDeprecatedParagraph(doc string) bool {
+	for _, line := range strings.Split(doc, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}

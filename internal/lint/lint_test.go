@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestMalformedDirectives pins the directive validator: an unknown verb,
+// an owned without a reason, and every malformed ignore shape are
+// findings under the "directive" pseudo-analyzer.
+func TestMalformedDirectives(t *testing.T) {
+	_, report := loadFixture(t, "directive")
+	want := []string{
+		`unknown chaselint directive "frobnicate"`,
+		"chaselint:owned requires a reason",
+		"chaselint:ignore requires an analyzer name and a reason",
+		`chaselint:ignore names unknown analyzer "bogus"`,
+		"chaselint:ignore hotpath requires a reason",
+	}
+	if len(report.Findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(report.Findings), len(want), report.Findings)
+	}
+	for _, f := range report.Findings {
+		if f.Analyzer != "directive" {
+			t.Errorf("finding %s: analyzer %q, want \"directive\"", f, f.Analyzer)
+		}
+		found := false
+		for _, w := range want {
+			if strings.Contains(f.Message, w) || f.Message == w {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected directive finding: %s", f)
+		}
+	}
+	for _, w := range want {
+		found := false
+		for _, f := range report.Findings {
+			if strings.Contains(f.Message, w) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no finding with message %q", w)
+		}
+	}
+}
+
+// TestSuppression pins the ignore directive: real violations covered by
+// a well-formed ignore — on the previous line or at the end of the
+// offending line — disappear from the report.
+func TestSuppression(t *testing.T) {
+	_, report := loadFixture(t, "suppress")
+	if len(report.Findings) != 0 {
+		t.Errorf("suppressed fixture reported %d findings:\n%v", len(report.Findings), report.Findings)
+	}
+}
+
+// TestJSONShape pins the -json report contract: the exact top-level and
+// per-finding field names CI consumers rely on, and an empty findings
+// list rendered as [] rather than null.
+func TestJSONShape(t *testing.T) {
+	_, report := loadFixture(t, "api")
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Packages  int              `json:"packages"`
+		Analyzers []string         `json:"analyzers"`
+		Findings  []map[string]any `json:"findings"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("report is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Packages != 1 {
+		t.Errorf("packages = %d, want 1", decoded.Packages)
+	}
+	if len(decoded.Analyzers) != len(All()) {
+		t.Errorf("analyzers = %v, want %d entries", decoded.Analyzers, len(All()))
+	}
+	if len(decoded.Findings) == 0 {
+		t.Fatal("api fixture produced no findings")
+	}
+	for _, f := range decoded.Findings {
+		for _, field := range []string{"file", "line", "col", "analyzer", "message"} {
+			if _, ok := f[field]; !ok {
+				t.Errorf("finding %v lacks field %q", f, field)
+			}
+		}
+	}
+
+	// Empty reports render findings as [], not null.
+	empty := Run(nil, nil, All())
+	buf.Reset()
+	if err := empty.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "null") {
+		t.Errorf("empty report contains null:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), `"findings": []`) {
+		t.Errorf("empty report does not render findings as []:\n%s", buf.String())
+	}
+}
+
+// TestFindingString pins the text output format the CI grep contract
+// depends on: file:line: analyzer: message.
+func TestFindingString(t *testing.T) {
+	f := Finding{File: "internal/chase/chase.go", Line: 42, Col: 7, Analyzer: "hotpath", Message: "boom"}
+	if got, want := f.String(), "internal/chase/chase.go:42: hotpath: boom"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

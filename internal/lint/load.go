@@ -1,0 +1,394 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package, ready for
+// analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Files []*ast.File // non-test files, parsed with comments
+	Types *types.Package
+	Info  *types.Info
+
+	directives []directive
+	// funcDecls maps each function object to its declaration, for
+	// analyzers that follow calls into same-package functions.
+	funcDecls map[types.Object]*ast.FuncDecl
+}
+
+// Loader loads and type-checks the packages of a single Go module using
+// only the standard library: module-internal imports resolve against the
+// module root, everything else against GOROOT/src. Dependencies are
+// checked without function bodies; module packages are checked fully,
+// with types.Info recorded for the analyzers.
+//
+// The loader sees only non-test files (the invariants it enforces are
+// production-code contracts; _test.go files are exercised by go test
+// itself) and ignores cgo (CgoEnabled is forced off so that stdlib
+// packages select their pure-Go fallbacks).
+type Loader struct {
+	RootDir    string
+	ModulePath string
+	Fset       *token.FileSet
+
+	buildCtx build.Context
+	pkgs     map[string]*pkgEntry
+	// deprecated maps module-level objects whose doc carries a
+	// "Deprecated:" paragraph to the first such line of the doc.
+	deprecated map[types.Object]string
+	// funcDocs maps function objects of module packages to their doc
+	// text, for the Deprecated-wrapper exemptions.
+	funcDocs map[types.Object]string
+}
+
+type pkgEntry struct {
+	pkg     *Package // nil for non-module packages
+	tpkg    *types.Package
+	loading bool
+	err     error
+}
+
+// NewLoader creates a loader for the module containing dir: the nearest
+// ancestor with a go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	return newLoader(root, modPath), nil
+}
+
+// NewFixtureLoader creates a loader rooted at a standalone fixture
+// directory that is not part of any module; its packages import under
+// the synthetic module path given by the directory's base name.
+func NewFixtureLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	return newLoader(abs, filepath.Base(abs)), nil
+}
+
+func newLoader(root, modPath string) *Loader {
+	ctx := build.Default
+	ctx.CgoEnabled = false
+	return &Loader{
+		RootDir:    root,
+		ModulePath: modPath,
+		Fset:       token.NewFileSet(),
+		buildCtx:   ctx,
+		pkgs:       map[string]*pkgEntry{},
+		deprecated: map[types.Object]string{},
+		funcDocs:   map[types.Object]string{},
+	}
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// rel makes a file path relative to the module root for reporting.
+func (l *Loader) rel(file string) string {
+	if r, err := filepath.Rel(l.RootDir, file); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return file
+}
+
+// Load resolves the patterns ("./...", "./internal/chase", "dir/...")
+// against the module root and returns the matched packages,
+// type-checked, sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs := map[string]bool{}
+	for _, pat := range patterns {
+		base, recursive := strings.CutSuffix(pat, "/...")
+		if base == "." || base == "" {
+			base = l.RootDir
+		} else if !filepath.IsAbs(base) {
+			base = filepath.Join(l.RootDir, base)
+		}
+		if !recursive {
+			dirs[filepath.Clean(base)] = true
+			continue
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			dirs[path] = true
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var out []*Package
+	for _, dir := range sortedKeys(dirs) {
+		path, err := l.dirImportPath(dir)
+		if err != nil {
+			return nil, err
+		}
+		if !l.dirHasGoFiles(dir) {
+			continue
+		}
+		entry := l.load(path)
+		if entry.err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", path, entry.err)
+		}
+		out = append(out, entry.pkg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (l *Loader) dirHasGoFiles(dir string) bool {
+	bp, err := l.buildCtx.ImportDir(dir, 0)
+	return err == nil && len(bp.GoFiles) > 0
+}
+
+func (l *Loader) dirImportPath(dir string) (string, error) {
+	rel, err := filepath.Rel(l.RootDir, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: directory %s is outside the module root %s", dir, l.RootDir)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// moduleDir maps a module-internal import path to its directory, or ""
+// if path does not belong to the module.
+func (l *Loader) moduleDir(path string) string {
+	if path == l.ModulePath {
+		return l.RootDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.RootDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+// load type-checks the package at the import path, memoized. Module
+// packages are checked fully with Info; all other packages resolve
+// against GOROOT/src and are checked without function bodies.
+func (l *Loader) load(path string) *pkgEntry {
+	if e, ok := l.pkgs[path]; ok {
+		if e.loading {
+			return &pkgEntry{err: fmt.Errorf("import cycle through %s", path)}
+		}
+		return e
+	}
+	e := &pkgEntry{loading: true}
+	l.pkgs[path] = e
+	defer func() { e.loading = false }()
+
+	moduleDir := l.moduleDir(path)
+	dir := moduleDir
+	if dir == "" {
+		dir = filepath.Join(l.buildCtx.GOROOT, "src", filepath.FromSlash(path))
+	}
+	bp, err := l.buildCtx.ImportDir(dir, 0)
+	if err != nil {
+		e.err = err
+		return e
+	}
+	full := moduleDir != ""
+	mode := parser.SkipObjectResolution
+	if full {
+		mode |= parser.ParseComments
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, mode)
+		if err != nil {
+			e.err = err
+			return e
+		}
+		files = append(files, f)
+	}
+
+	var info *types.Info
+	if full {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+	}
+	var checkErrs []error
+	conf := types.Config{
+		Importer:         (*loaderImporter)(l),
+		IgnoreFuncBodies: !full,
+		FakeImportC:      true,
+		Error:            func(err error) { checkErrs = append(checkErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	e.tpkg = tpkg
+	if full {
+		if len(checkErrs) > 0 {
+			e.err = fmt.Errorf("type errors: %v", checkErrs[0])
+			return e
+		}
+		pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+		l.index(pkg)
+		e.pkg = pkg
+	}
+	// Dependency check errors are tolerated: with bodies ignored and cgo
+	// off the exported API still checks, which is all the module needs.
+	return e
+}
+
+// loaderImporter adapts the loader to types.ImporterFrom.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	return li.ImportFrom(path, "", 0)
+}
+
+func (li *loaderImporter) ImportFrom(path, _ string, _ types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	e := (*Loader)(li).load(path)
+	if e.err != nil {
+		return nil, e.err
+	}
+	if e.tpkg == nil {
+		return nil, fmt.Errorf("lint: could not import %s", path)
+	}
+	return e.tpkg, nil
+}
+
+// index builds the package's directive list, function-declaration map,
+// and contributes to the loader-wide deprecated-object registry.
+func (l *Loader) index(pkg *Package) {
+	pkg.funcDecls = map[types.Object]*ast.FuncDecl{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kind, analyzer, reason, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				position := l.Fset.Position(c.Pos())
+				pkg.directives = append(pkg.directives, directive{
+					kind: kind, analyzer: analyzer, reason: reason,
+					file: l.rel(position.Filename), line: position.Line, pos: c.Pos(),
+				})
+			}
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				obj := pkg.Info.Defs[d.Name]
+				if obj == nil {
+					continue
+				}
+				pkg.funcDecls[obj] = d
+				doc := d.Doc.Text()
+				l.funcDocs[obj] = doc
+				if dep, ok := deprecationNote(doc); ok {
+					l.deprecated[obj] = dep
+				}
+			case *ast.GenDecl:
+				declDep, declOK := deprecationNote(d.Doc.Text())
+				for _, spec := range d.Specs {
+					var names []*ast.Ident
+					var doc *ast.CommentGroup
+					switch s := spec.(type) {
+					case *ast.ValueSpec:
+						names, doc = s.Names, s.Doc
+					case *ast.TypeSpec:
+						names, doc = []*ast.Ident{s.Name}, s.Doc
+					}
+					dep, ok := deprecationNote(doc.Text())
+					if !ok {
+						dep, ok = declDep, declOK
+					}
+					if !ok {
+						continue
+					}
+					for _, name := range names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							l.deprecated[obj] = dep
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// deprecationNote extracts the first "Deprecated:" line of a doc text.
+func deprecationNote(doc string) (string, bool) {
+	for _, line := range strings.Split(doc, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Deprecated:") {
+			return line, true
+		}
+	}
+	return "", false
+}
+
+// funcDocFor returns the doc text of the function object, if it is a
+// module function the loader has seen.
+func (l *Loader) funcDocFor(obj types.Object) string {
+	return l.funcDocs[obj]
+}

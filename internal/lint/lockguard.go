@@ -1,0 +1,314 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// analyzerLockguard enforces the mutex discipline: every mu.Lock() (or
+// RLock) in a function must be released by a defer mu.Unlock() — direct
+// or inside a deferred closure — or by an Unlock on every path that
+// leaves the function. The check is a conservative per-function path
+// simulation over the AST: branches are explored independently and a
+// lock still held at a return (or at the end of the body) without a
+// matching defer is reported at its Lock site.
+//
+// Paths that end the process or unwind the stack (panic, os.Exit,
+// log.Fatal*, runtime.Goexit) are not treated as returns; panic safety
+// is the job of deferred unlocks, which the simulation honors. Functions
+// using goto are skipped — the simulation has no CFG.
+var analyzerLockguard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "every Lock pairs with a defer Unlock or an Unlock on all return paths",
+	Run:  runLockguard,
+}
+
+func runLockguard(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		// Every function-shaped body is its own scope: top-level decls and
+		// each closure (a deferred closure may legitimately Lock/Unlock on
+		// its own).
+		forEachFuncBody(f, func(_ *ast.FuncDecl, body *ast.BlockStmt) {
+			checkLockBody(p, body)
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkLockBody(p, lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// mutexOp classifies a call as a lock or unlock on a keyed mutex
+// expression. The key pairs the receiver's source text with the
+// write/read mode, so mu.Lock pairs with mu.Unlock and mu.RLock with
+// mu.RUnlock.
+func (p *Pass) mutexOp(call *ast.CallExpr) (key string, lock bool, ok bool) {
+	fn := p.callee(call)
+	if fn == nil {
+		return "", false, false
+	}
+	var mode string
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.RWMutex).Lock":
+		mode, lock = "w", true
+	case "(*sync.Mutex).Unlock", "(*sync.RWMutex).Unlock":
+		mode, lock = "w", false
+	case "(*sync.RWMutex).RLock":
+		mode, lock = "r", true
+	case "(*sync.RWMutex).RUnlock":
+		mode, lock = "r", false
+	default:
+		return "", false, false
+	}
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	return types.ExprString(sel.X) + ":" + mode, lock, true
+}
+
+type lockState struct {
+	held     map[string]token.Pos // key -> position of the acquiring Lock
+	deferred map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+type lockChecker struct {
+	p        *Pass
+	reported map[token.Pos]bool
+	bail     bool // goto seen: abandon the function
+}
+
+func checkLockBody(p *Pass, body *ast.BlockStmt) {
+	lc := &lockChecker{p: p, reported: map[token.Pos]bool{}}
+	st := newLockState()
+	terminated := lc.seq(body.List, st)
+	if lc.bail || terminated {
+		return
+	}
+	lc.leak(st, "function end")
+}
+
+func (lc *lockChecker) leak(st *lockState, where string) {
+	for key, pos := range st.held {
+		if st.deferred[key] || lc.reported[pos] {
+			continue
+		}
+		lc.reported[pos] = true
+		lc.p.Reportf(pos, "Lock is not released on every path: still held at %s without a defer Unlock", where)
+	}
+}
+
+// seq simulates a statement list, mutating st. It reports whether every
+// path through the list leaves the function (return or terminating
+// call), i.e. no fall-through remains.
+func (lc *lockChecker) seq(stmts []ast.Stmt, st *lockState) bool {
+	for _, s := range stmts {
+		if lc.bail {
+			return false
+		}
+		if lc.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt simulates one statement; true means the path terminates here.
+func (lc *lockChecker) stmt(s ast.Stmt, st *lockState) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		if key, lock, ok := lc.p.mutexOp(call); ok {
+			if lock {
+				st.held[key] = call.Pos()
+			} else {
+				delete(st.held, key)
+			}
+			return false
+		}
+		return lc.terminatesProcess(call)
+	case *ast.DeferStmt:
+		lc.deferredUnlocks(s.Call, st)
+		return false
+	case *ast.ReturnStmt:
+		lc.leak(st, "a return")
+		return true
+	case *ast.BlockStmt:
+		return lc.seq(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		thenSt := st.clone()
+		thenTerm := lc.seq(s.Body.List, thenSt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = lc.stmt(s.Else, elseSt)
+		}
+		return lc.merge(st, []*lockState{thenSt, elseSt}, []bool{thenTerm, elseTerm})
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return lc.branches(s, st)
+	case *ast.ForStmt:
+		loopSt := st.clone()
+		lc.seq(s.Body.List, loopSt)
+		// Conservative: the loop may run zero times; keep the pre-state.
+		// An infinite for{} with no break never falls through, but proving
+		// that needs a CFG — treat it as fall-through (no false positives:
+		// held locks are checked against the pre-loop state).
+		return false
+	case *ast.RangeStmt:
+		loopSt := st.clone()
+		lc.seq(s.Body.List, loopSt)
+		return false
+	case *ast.LabeledStmt:
+		return lc.stmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			lc.bail = true
+		}
+		// break/continue leave the enclosing loop or switch arm; for this
+		// per-function check that path is accounted for by the
+		// conservative loop handling above.
+		return true
+	case *ast.GoStmt:
+		return false
+	default:
+		return false
+	}
+}
+
+// branches simulates a switch or select: each clause from a clone of the
+// incoming state, merged like an if/else chain. A missing default adds
+// an implicit fall-through arm.
+func (lc *lockChecker) branches(s ast.Stmt, st *lockState) bool {
+	var body *ast.BlockStmt
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			lc.stmt(s.Init, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var states []*lockState
+	var terms []bool
+	hasDefault := false
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			stmts = c.Body
+			if c.List == nil {
+				hasDefault = true
+			}
+		case *ast.CommClause:
+			stmts = c.Body
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				// A receive/send in the comm clause is ordinary code.
+				lc.stmt(c.Comm, st)
+			}
+		}
+		cs := st.clone()
+		states = append(states, cs)
+		terms = append(terms, lc.seq(stmts, cs))
+	}
+	if !hasDefault {
+		// Without a default the switch may match nothing (select always
+		// blocks until one arm fires, but modeling it as possibly-skipped
+		// only makes the check more conservative).
+		states = append(states, st.clone())
+		terms = append(terms, false)
+	}
+	return lc.merge(st, states, terms)
+}
+
+// merge folds branch outcomes back into st: the held set becomes the
+// union over the branches that fall through (a lock held on any
+// surviving path must still be released), deferred the union over all.
+// It returns true when every branch terminated.
+func (lc *lockChecker) merge(st *lockState, states []*lockState, terms []bool) bool {
+	allTerm := true
+	held := map[string]token.Pos{}
+	for i, bs := range states {
+		for k := range bs.deferred {
+			st.deferred[k] = true
+		}
+		if terms[i] {
+			continue
+		}
+		allTerm = false
+		for k, pos := range bs.held {
+			held[k] = pos
+		}
+	}
+	if !allTerm {
+		st.held = held
+	}
+	return allTerm
+}
+
+// deferredUnlocks records the unlocks performed by a defer statement:
+// either a direct defer mu.Unlock(), or unlock calls anywhere inside a
+// deferred closure.
+func (lc *lockChecker) deferredUnlocks(call *ast.CallExpr, st *lockState) {
+	if key, lock, ok := lc.p.mutexOp(call); ok && !lock {
+		st.deferred[key] = true
+		return
+	}
+	lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.CallExpr); ok {
+			if key, lock, ok := lc.p.mutexOp(inner); ok && !lock {
+				st.deferred[key] = true
+			}
+		}
+		return true
+	})
+}
+
+// terminatesProcess reports whether the call never returns: panic,
+// os.Exit, runtime.Goexit, log.Fatal*, (*testing.common).Fatal*.
+func (lc *lockChecker) terminatesProcess(call *ast.CallExpr) bool {
+	if lc.p.isBuiltin(call, "panic") {
+		return true
+	}
+	fn := lc.p.callee(call)
+	if fn == nil {
+		return false
+	}
+	switch fn.FullName() {
+	case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+		return true
+	}
+	return false
+}

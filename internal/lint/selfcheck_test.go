@@ -1,0 +1,36 @@
+package lint
+
+import (
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// TestSelfCheck runs the full analyzer suite over this repository and
+// demands zero findings: the tree must stay clean under its own linter.
+// This is the same invariant CI enforces with go run ./cmd/chaselint.
+func TestSelfCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	_, thisFile, _, ok := runtime.Caller(0)
+	if !ok {
+		t.Fatal("cannot locate repository root")
+	}
+	root := filepath.Dir(filepath.Dir(filepath.Dir(thisFile)))
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	report := Run(loader, pkgs, All())
+	for _, f := range report.Findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,29 @@
+// Package api seeds violations of the wiretags analyzer (the fixture
+// directory name makes it a wire package).
+package api
+
+// Request is a wire message.
+type Request struct {
+	ID   string `json:"id"`
+	Name string // want `wiretags: exported wire field Request.Name has no json tag`
+	body []byte
+}
+
+// Response is a wire message.
+type Response struct {
+	Code int   // want `wiretags: exported wire field Response.Code has no json tag`
+	Meta Inner `json:"meta"`
+}
+
+// Inner is a nested wire message.
+type Inner struct {
+	OK bool `json:"ok"`
+}
+
+// Wrapped embeds Inner; embedded fields marshal inline and are exempt.
+type Wrapped struct {
+	Inner
+	Tag string `json:"tag"`
+}
+
+func use(r Request) []byte { return r.body }

@@ -1,0 +1,24 @@
+// Package ctxflow seeds violations of the ctxflow analyzer.
+package ctxflow
+
+import "context"
+
+// Forward receives a context but mints a fresh root instead of passing
+// the parameter down.
+func Forward(ctx context.Context) error {
+	return work(context.Background()) // want `ctxflow: function receives a context.Context but mints a fresh root context`
+}
+
+// Mint is library code with no context parameter at all.
+func Mint() error {
+	return work(context.TODO()) // want `ctxflow: context.Background\(\)/TODO\(\) in library code`
+}
+
+// Old is the compatibility shim; Deprecated wrappers may mint a root.
+//
+// Deprecated: use Forward.
+func Old() error {
+	return work(context.Background())
+}
+
+func work(ctx context.Context) error { return ctx.Err() }

@@ -1,0 +1,30 @@
+// Package deprecated seeds violations of the deprecated analyzer.
+package deprecated
+
+// Old is the v0 entry point.
+//
+// Deprecated: use New.
+func Old() int { return New() }
+
+// New replaces Old.
+func New() int { return 0 }
+
+// OldLimit is the v0 budget.
+//
+// Deprecated: use NewLimit.
+const OldLimit = 1
+
+// NewLimit replaces OldLimit.
+const NewLimit = 2
+
+// Caller reaches into the compatibility layer from live code.
+func Caller() int {
+	n := Old()    // want `deprecated: use of deprecated Old`
+	n += OldLimit // want `deprecated: use of deprecated OldLimit`
+	return n
+}
+
+// Shim delegates within the compatibility layer, which is allowed.
+//
+// Deprecated: use Caller.
+func Shim() int { return Old() + OldLimit }

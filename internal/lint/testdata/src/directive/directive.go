@@ -1,0 +1,24 @@
+// Package directive seeds malformed chaselint directives; the expected
+// findings are asserted explicitly in lint_test.go (a want comment would
+// become part of the directive's own text).
+package directive
+
+//chaselint:frobnicate
+func Unknown() {}
+
+// MissingOwnedReason spawns without documenting the drain.
+func MissingOwnedReason() {
+	//chaselint:owned
+	go func() {
+		ch := make(chan int, 1)
+		ch <- 1
+	}()
+}
+
+// BadIgnores exercises every malformed ignore shape.
+func BadIgnores() int {
+	//chaselint:ignore
+	//chaselint:ignore bogus the analyzer does not exist
+	//chaselint:ignore hotpath
+	return 0
+}

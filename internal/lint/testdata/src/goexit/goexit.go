@@ -1,0 +1,50 @@
+// Package goexit seeds violations of the goexit analyzer.
+package goexit
+
+import "sync"
+
+// Drained spawns a goroutine the caller can wait out.
+func Drained(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// Sender reports completion on a channel.
+func Sender() <-chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+	return ch
+}
+
+// Leaky spawns a goroutine nothing ever drains.
+func Leaky() {
+	go func() { // want `goexit: goroutine has no visible drain`
+		loop()
+	}()
+}
+
+// Named spawns a same-package function with no drain; the analyzer
+// follows the declaration.
+func Named() {
+	go loop() // want `goexit: goroutine has no visible drain`
+}
+
+// Opaque spawns a function value whose body cannot be inspected.
+func Opaque(f func()) {
+	go f() // want `goexit: goroutine body cannot be inspected`
+}
+
+// Owned documents its detachment instead.
+func Owned() {
+	//chaselint:owned process-lifetime heartbeat; exits when the process does
+	go loop()
+}
+
+func loop() {
+	for {
+	}
+}

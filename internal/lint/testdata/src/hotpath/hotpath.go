@@ -1,0 +1,48 @@
+// Package hotpath seeds violations of the hotpath analyzer.
+package hotpath
+
+import "fmt"
+
+type sink interface{ M() }
+
+type impl struct{}
+
+func (impl) M() {}
+
+// Hot is annotated: every allocating construct below must be flagged.
+//
+//chaselint:hotpath
+func Hot(xs []int, bs []byte) int {
+	msg := fmt.Sprint(len(xs)) // want `hotpath: call to fmt.Sprint in hot path`
+	_ = msg
+	s := string(bs) // want `hotpath: string conversion in hot path`
+	_ = s
+	raw := []byte(s) // want `hotpath: string-to-slice conversion in hot path`
+	_ = raw
+	buf := []int{1, 2}  // want `hotpath: slice literal in hot path`
+	var i sink = impl{} // want `hotpath: assignment boxes`
+	_ = i
+	f := func() int { return 1 } // want `hotpath: closure literal in hot path`
+	return buf[0] + f()
+}
+
+// Cold is unannotated: the identical code is not policed here.
+func Cold(bs []byte) string { return string(bs) }
+
+// Crash allocates only on its panic path, which is exempt.
+//
+//chaselint:hotpath
+func Crash(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("hotpath: negative %d", n))
+	}
+	return n
+}
+
+// Probe uses a map-index string conversion, which the compiler performs
+// without allocating.
+//
+//chaselint:hotpath
+func Probe(m map[string]int, bs []byte) int {
+	return m[string(bs)]
+}

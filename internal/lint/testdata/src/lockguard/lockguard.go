@@ -1,0 +1,63 @@
+// Package lockguard seeds violations of the lockguard analyzer.
+package lockguard
+
+import "sync"
+
+// S carries both mutex flavours.
+type S struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+// Deferred is the canonical clean shape.
+func (s *S) Deferred() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}
+
+// Manual releases on the only path out.
+func (s *S) Manual() int {
+	s.mu.Lock()
+	n := s.n
+	s.mu.Unlock()
+	return n
+}
+
+// AllPaths releases on both return paths.
+func (s *S) AllPaths(b bool) int {
+	s.mu.Lock()
+	if b {
+		s.mu.Unlock()
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// LeakReturn forgets the unlock on the early return.
+func (s *S) LeakReturn(b bool) int {
+	s.mu.Lock() // want `lockguard: Lock is not released on every path`
+	if b {
+		return 0
+	}
+	s.mu.Unlock()
+	return s.n
+}
+
+// LeakEnd holds a read lock to the end of the body with no defer.
+func (s *S) LeakEnd() {
+	s.rw.RLock() // want `lockguard: Lock is not released on every path`
+	_ = s.n
+}
+
+// PanicExempt never returns normally from the locked region; the
+// deferred closure releases on unwind.
+func (s *S) PanicExempt() {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	panic("lockguard: fixture")
+}

@@ -1,0 +1,21 @@
+// Package suppress carries real violations under well-formed ignore
+// directives; a run over it must report nothing.
+package suppress
+
+import (
+	"context"
+	"fmt"
+)
+
+// Hot formats once per run, off the trigger loop.
+//
+//chaselint:hotpath
+func Hot(x int) string {
+	//chaselint:ignore hotpath one-time diagnostics, not on the trigger loop
+	return fmt.Sprint(x)
+}
+
+// Mint is allowed its root context by the ignore on the same line.
+func Mint() error {
+	return context.Background().Err() //chaselint:ignore ctxflow fixture exercises same-line suppression
+}

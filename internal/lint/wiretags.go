@@ -1,0 +1,69 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+	"strconv"
+	"strings"
+)
+
+// analyzerWiretags keeps the versioned wire contract honest: every
+// exported, named struct field in an api package must carry an explicit
+// json tag, so the strict decoder and the golden fixtures agree on the
+// wire names and a renamed Go field can never silently change the
+// contract. Embedded fields are exempt (they marshal inline).
+var analyzerWiretags = &Analyzer{
+	Name: "wiretags",
+	Doc:  "exported struct fields in api packages carry json tags",
+	Run:  runWiretags,
+}
+
+func runWiretags(p *Pass) {
+	if !isAPIPackage(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if len(field.Names) == 0 {
+					continue // embedded
+				}
+				for _, name := range field.Names {
+					if !name.IsExported() {
+						continue
+					}
+					if !hasJSONTag(field.Tag) {
+						p.Reportf(name.Pos(), "exported wire field %s.%s has no json tag", ts.Name.Name, name.Name)
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isAPIPackage reports whether the import path names a wire package: the
+// path (or the fixture directory) ends in "api".
+func isAPIPackage(path string) bool {
+	return path == "api" || strings.HasSuffix(path, "/api")
+}
+
+func hasJSONTag(tag *ast.BasicLit) bool {
+	if tag == nil {
+		return false
+	}
+	raw, err := strconv.Unquote(tag.Value)
+	if err != nil {
+		return false
+	}
+	val, ok := reflect.StructTag(raw).Lookup("json")
+	return ok && val != ""
+}

@@ -41,6 +41,7 @@
 package looping
 
 import (
+	"context"
 	"fmt"
 
 	"chaseterm/internal/chase"
@@ -136,8 +137,17 @@ func Loop(inst Instance) (*logic.RuleSet, error) {
 // Σ with the semi-oblivious chase (exact for Datalog rule sets, which
 // always saturate; for rule sets with existentials the budget applies and
 // an inconclusive run returns an error).
+//
+// Deprecated: use EntailedContext, which bounds the saturation by a
+// caller-supplied context.
 func Entailed(inst Instance, opt chase.Options) (bool, error) {
-	res, err := chase.RunFromAtoms(inst.DB, inst.Rules, chase.SemiOblivious, opt)
+	return EntailedContext(context.Background(), inst, opt)
+}
+
+// EntailedContext is Entailed honoring a context: the underlying chase
+// polls it, so a canceled or expired context surfaces as ctx.Err().
+func EntailedContext(ctx context.Context, inst Instance, opt chase.Options) (bool, error) {
+	res, err := chase.RunFromAtomsContext(ctx, inst.DB, inst.Rules, chase.SemiOblivious, opt)
 	if err != nil {
 		return false, err
 	}

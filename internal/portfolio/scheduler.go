@@ -137,6 +137,7 @@ func raceExact(ctx context.Context, exact []Decider, rs *logic.RuleSet, v core.C
 	}
 	ch := make(chan outcome, len(exact))
 	for i, d := range exact {
+		//chaselint:owned every racer sends exactly one outcome on the buffered ch; the for range exact loop below receives them all
 		go func(i int, d Decider) {
 			t0 := time.Now()
 			verdict, ev, err := d.DecideContext(rctx, rs, v, opt)
