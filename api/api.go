@@ -13,6 +13,8 @@
 // served today.
 package api
 
+import "time"
+
 // Version is the wire version this package describes, and the path
 // segment of the routes that speak it (POST /v2/analyze).
 const Version = "v2"
@@ -305,6 +307,12 @@ type Error struct {
 	// by clients for callers that care about the raw status; never
 	// serialized.
 	HTTPStatus int `json:"-"`
+
+	// RetryAfter is the server's Retry-After hint, when the response
+	// carried one: how long to wait before retrying. Set by clients from
+	// the response header; zero means no hint. Never serialized — it
+	// travels as a header, not in the body.
+	RetryAfter time.Duration `json:"-"`
 }
 
 func (e *Error) Error() string {

@@ -24,7 +24,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,8 +65,13 @@ func WithRetries(n int) Option {
 	}
 }
 
-// WithRetryBackoff sets the pause between retry attempts (default
-// 100ms). The pause honors the call's context.
+// WithRetryBackoff sets the base pause between retry attempts (default
+// 100ms). The actual pause grows exponentially — base, 2×base, 4×base,
+// … capped at 32×base — with jitter (uniform over the upper half of
+// the computed delay) so a fleet of clients retrying against one
+// recovering replica does not stampede it in lockstep. A Retry-After
+// header on the failed response overrides the computed delay entirely.
+// Every pause honors the call's context.
 func WithRetryBackoff(d time.Duration) Option {
 	return func(c *Client) {
 		if d > 0 {
@@ -156,7 +163,7 @@ func (c *Client) ChaseStream(ctx context.Context, req api.AnalyzeRequest, onEven
 			return ev, err
 		}
 		select {
-		case <-time.After(c.backoff):
+		case <-time.After(c.retryDelay(attempt, apiErr)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}
@@ -266,7 +273,7 @@ func (c *Client) post(ctx context.Context, path string, body []byte, out any) er
 			return lastErr
 		}
 		select {
-		case <-time.After(c.backoff):
+		case <-time.After(c.retryDelay(attempt, apiErr)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -293,6 +300,37 @@ func (c *Client) once(ctx context.Context, path string, body []byte, out any) er
 	return nil
 }
 
+// retryDelay computes the pause before retry number attempt (0-based).
+// A server-supplied Retry-After hint wins outright — the server knows
+// when it expects to be back. Otherwise the base backoff doubles per
+// attempt, capped at 32× base, and the wait lands uniformly in the
+// upper half of that window so concurrent retriers spread out.
+func (c *Client) retryDelay(attempt int, apiErr *api.Error) time.Duration {
+	if apiErr != nil && apiErr.RetryAfter > 0 {
+		return apiErr.RetryAfter
+	}
+	d := c.backoff
+	for i := 0; i < attempt && i < 5; i++ {
+		d *= 2
+	}
+	return d/2 + rand.N(d/2+1)
+}
+
+// retryAfter parses a Retry-After response header: delay-seconds per
+// RFC 9110 (the HTTP-date form is not worth a client dependency; a
+// malformed or absent header reads as "no hint").
+func retryAfter(resp *http.Response) time.Duration {
+	v := strings.TrimSpace(resp.Header.Get("Retry-After"))
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
 // decodeError turns a non-2xx response into a typed *api.Error. A body
 // that is not a v2 envelope (a proxy's HTML 502 page, say) degrades to
 // an error synthesized from the status line.
@@ -301,6 +339,7 @@ func decodeError(resp *http.Response) error {
 	var env api.ErrorEnvelope
 	if err := json.Unmarshal(data, &env); err == nil && env.Error != nil && env.Error.Code != "" {
 		env.Error.HTTPStatus = resp.StatusCode
+		env.Error.RetryAfter = retryAfter(resp)
 		return env.Error
 	}
 	code := api.CodeInternal
@@ -320,5 +359,5 @@ func decodeError(resp *http.Response) error {
 	if msg == "" {
 		msg = resp.Status
 	}
-	return &api.Error{Code: code, Message: msg, HTTPStatus: resp.StatusCode}
+	return &api.Error{Code: code, Message: msg, HTTPStatus: resp.StatusCode, RetryAfter: retryAfter(resp)}
 }

@@ -355,3 +355,88 @@ func TestCapabilitiesAgainstOldServer(t *testing.T) {
 		t.Errorf("HTTPStatus = %d, want 404", apiErr.HTTPStatus)
 	}
 }
+
+// TestRetryBackoffGrowsWithJitter pins the backoff schedule's shape:
+// exponential growth per attempt, jittered within the upper half of
+// the window, capped at 32x base, and overridden by a Retry-After
+// hint.
+func TestRetryBackoffGrowsWithJitter(t *testing.T) {
+	c := New("http://unused", WithRetryBackoff(100*time.Millisecond))
+	for attempt, base := range []time.Duration{
+		100 * time.Millisecond, // attempt 0
+		200 * time.Millisecond, // attempt 1: doubled
+		400 * time.Millisecond, // attempt 2: doubled again
+	} {
+		for i := 0; i < 50; i++ {
+			d := c.retryDelay(attempt, nil)
+			if d < base/2 || d > base {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, base/2, base)
+			}
+		}
+	}
+	// The exponential growth caps at 32x base.
+	for i := 0; i < 50; i++ {
+		if d := c.retryDelay(100, nil); d > 32*100*time.Millisecond {
+			t.Fatalf("attempt 100: delay %v exceeds the 32x cap", d)
+		}
+	}
+	// A Retry-After hint wins outright, no jitter.
+	hinted := &api.Error{Code: api.CodeUnavailable, RetryAfter: 7 * time.Second}
+	if d := c.retryDelay(0, hinted); d != 7*time.Second {
+		t.Fatalf("hinted delay %v, want 7s", d)
+	}
+}
+
+// TestRetryAfterHeaderIsParsed: a 503 with Retry-After surfaces the
+// hint on the typed error, for both envelope and non-envelope bodies.
+func TestRetryAfterHeaderIsParsed(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "3")
+		envelope(w, api.CodeUnavailable, "draining")
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(0))
+	_, err := c.Analyze(context.Background(), api.AnalyzeRequest{Kind: api.KindClassify, Rules: "p(X) -> q(X)."})
+	var apiErr *api.Error
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err %T %v, want *api.Error", err, err)
+	}
+	if apiErr.RetryAfter != 3*time.Second {
+		t.Fatalf("RetryAfter = %v, want 3s", apiErr.RetryAfter)
+	}
+
+	plain := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "2")
+		http.Error(w, "upstream connect error", http.StatusServiceUnavailable)
+	}))
+	defer plain.Close()
+	_, err = New(plain.URL, WithRetries(0)).Analyze(context.Background(), api.AnalyzeRequest{Kind: api.KindClassify, Rules: "p(X) -> q(X)."})
+	if !errors.As(err, &apiErr) || apiErr.RetryAfter != 2*time.Second {
+		t.Fatalf("non-envelope RetryAfter = %+v, want 2s", err)
+	}
+}
+
+// TestRetryWaitsOutRetryAfter: the retry loop actually sleeps the
+// hinted duration before the next attempt.
+func TestRetryWaitsOutRetryAfter(t *testing.T) {
+	var calls atomic.Int64
+	var firstFail, retried time.Time
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			firstFail = time.Now()
+			w.Header().Set("Retry-After", "1")
+			envelope(w, api.CodeUnavailable, "back in a second")
+			return
+		}
+		retried = time.Now()
+		json.NewEncoder(w).Encode(api.AnalyzeResponse{Kind: api.KindClassify, Class: "linear"}) //nolint:errcheck
+	}))
+	defer srv.Close()
+	c := New(srv.URL, WithRetries(1), WithRetryBackoff(time.Millisecond))
+	if _, err := c.Analyze(context.Background(), api.AnalyzeRequest{Kind: api.KindClassify, Rules: "p(X,X) -> q(X)."}); err != nil {
+		t.Fatalf("after retry: %v", err)
+	}
+	if wait := retried.Sub(firstFail); wait < time.Second {
+		t.Fatalf("retried after %v, want at least the hinted 1s", wait)
+	}
+}

@@ -7,6 +7,16 @@
 //
 //	chased [-addr :8080] [-workers N] [-cache-size N] [-timeout 30s] [-pprof addr]
 //	       [-log-json] [-log-level info] [-slow-request 0]
+//	       [-store verdicts.db] [-fsync always|interval|never]
+//
+// -store enables the persistent verdict store: decide verdicts are
+// written through to a crash-safe append-only file and survive process
+// restarts, so a restarted replica answers repeat decisions from disk
+// instead of recomputing them. -fsync picks the durability policy
+// (default interval: a background sync every second). Store failures
+// are never fatal — the server degrades to memory-only serving, flips
+// the chased_store_degraded gauge and the /healthz detail, and retries
+// reopening with exponential backoff.
 //
 // Endpoints — the versioned contract (package api; kind in the body):
 //
@@ -53,6 +63,7 @@ import (
 	"time"
 
 	"chaseterm/internal/service"
+	"chaseterm/internal/store"
 )
 
 type config struct {
@@ -64,6 +75,8 @@ type config struct {
 	logJSON     bool
 	logLevel    string
 	slowRequest time.Duration
+	storePath   string
+	fsync       string
 }
 
 func main() {
@@ -78,6 +91,10 @@ func main() {
 	flag.StringVar(&cfg.logLevel, "log-level", "info", "minimum log level: debug, info, warn, error")
 	flag.DurationVar(&cfg.slowRequest, "slow-request", 0,
 		"log requests at or over this duration at WARN with slow=true (0 = disabled)")
+	flag.StringVar(&cfg.storePath, "store", "",
+		"persist decide verdicts to this file across restarts; empty = memory-only")
+	flag.StringVar(&cfg.fsync, "fsync", "interval",
+		"store durability policy: always (sync every write), interval (sync every second), never")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: chased [flags]\n")
 		flag.PrintDefaults()
@@ -128,12 +145,32 @@ func run(ctx context.Context, cfg config, logger *slog.Logger, ready func(net.Ad
 	if logger == nil {
 		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	}
+	// The verdict store is wrapped in the Resilient degrader: a missing
+	// disk at boot, a full disk mid-run, a corrupt file — all of them
+	// degrade to memory-only serving (with a reopen loop backing off in
+	// the background) instead of failing the process or its requests.
+	var verdicts store.VerdictStore
+	if cfg.storePath != "" {
+		policy, err := store.ParseFsyncPolicy(cfg.fsync)
+		if err != nil {
+			return fmt.Errorf("bad -fsync %q: %w", cfg.fsync, err)
+		}
+		res := store.NewResilient(func() (store.VerdictStore, error) {
+			return store.Open(cfg.storePath, store.Options{Fsync: policy})
+		}, store.WithLogger(logger))
+		defer res.Close() //nolint:errcheck // final sync failure has no one left to tell
+		verdicts = res
+		logger.Info("verdict store enabled",
+			"path", cfg.storePath, "fsync", policy.String(), "degraded", res.Degraded())
+	}
+
 	eng := service.New(service.Options{
 		Workers:     cfg.workers,
 		CacheSize:   cfg.cacheSize,
 		JobTimeout:  cfg.timeout,
 		Logger:      logger,
 		SlowRequest: cfg.slowRequest,
+		Store:       verdicts,
 	})
 	defer eng.Close()
 

@@ -317,3 +317,163 @@ func TestPprofAndRuntimeStats(t *testing.T) {
 		t.Fatal("server did not shut down")
 	}
 }
+
+// TestStoreSurvivesRestart is the process-level persistence check: a
+// verdict decided by one server run is served store-warm (cached, one
+// storeHit) by a second run pointed at the same -store file.
+func TestStoreSurvivesRestart(t *testing.T) {
+	storePath := t.TempDir() + "/verdicts.db"
+	cfg := config{
+		addr:      "127.0.0.1:0",
+		timeout:   30 * time.Second,
+		storePath: storePath,
+		fsync:     "always",
+	}
+	body, _ := json.Marshal(map[string]string{
+		"kind":  "decide",
+		"rules": "person(X) -> hasFather(X,Y), person(Y).",
+	})
+
+	decide := func(base string) (cached bool) {
+		resp, err := http.Post(base+"/v2/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze status %d", resp.StatusCode)
+		}
+		var out struct {
+			Cached bool `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Cached
+	}
+
+	boot := func() (base string, stop func()) {
+		ctx, cancel := context.WithCancel(context.Background())
+		addrs := make(chan net.Addr, 1)
+		done := make(chan error, 1)
+		go func() {
+			done <- run(ctx, cfg, quiet(), func(a net.Addr) { addrs <- a })
+		}()
+		select {
+		case a := <-addrs:
+			base = fmt.Sprintf("http://%s", a)
+		case err := <-done:
+			t.Fatalf("server exited before becoming ready: %v", err)
+		case <-time.After(10 * time.Second):
+			t.Fatal("server never became ready")
+		}
+		return base, func() {
+			cancel()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("server exited with %v", err)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("server did not shut down")
+			}
+		}
+	}
+
+	base, stop := boot()
+	if decide(base) {
+		t.Fatal("first decide claims cached")
+	}
+	healthResp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string `json:"status"`
+		Store  *struct {
+			Degraded bool `json:"degraded"`
+		} `json:"store"`
+	}
+	if err := json.NewDecoder(healthResp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	healthResp.Body.Close()
+	if health.Status != "ok" || health.Store == nil || health.Store.Degraded {
+		t.Fatalf("healthz with healthy store = %+v", health)
+	}
+	stop()
+
+	base, stop = boot()
+	defer stop()
+	if !decide(base) {
+		t.Fatal("restarted server did not serve the persisted verdict as a cache hit")
+	}
+	statsResp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats struct {
+		StoreHits     int64 `json:"storeHits"`
+		StoreDegraded bool  `json:"storeDegraded"`
+	}
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.StoreHits != 1 || stats.StoreDegraded {
+		t.Fatalf("restarted stats = %+v, want 1 store hit, not degraded", stats)
+	}
+}
+
+// TestStoreDegradedBoot: a store path that cannot be opened must not
+// stop the server — it boots degraded and keeps serving.
+func TestStoreDegradedBoot(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addrs := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, config{
+			addr:      "127.0.0.1:0",
+			timeout:   30 * time.Second,
+			storePath: t.TempDir() + "/no/such/dir/verdicts.db",
+			fsync:     "interval",
+		}, quiet(), func(a net.Addr) { addrs <- a })
+	}()
+	var base string
+	select {
+	case a := <-addrs:
+		base = fmt.Sprintf("http://%s", a)
+	case err := <-done:
+		t.Fatalf("server refused to boot with a broken store: %v", err)
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	body, _ := json.Marshal(map[string]string{
+		"kind":  "decide",
+		"rules": "person(X) -> hasFather(X,Y), person(Y).",
+	})
+	resp, err := http.Post(base+"/v2/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("analyze status %d with degraded store, want 200", resp.StatusCode)
+	}
+	healthResp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthResp.Body.Close()
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(healthResp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "degraded" {
+		t.Fatalf("healthz status %q with broken store, want degraded", health.Status)
+	}
+}

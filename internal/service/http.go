@@ -157,8 +157,11 @@ func NewHandler(e *Engine) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"results": resps})
 	})
 
+	// Health stays 200 even while the store is degraded: the process is
+	// serving (memory-only), and failing readiness over a cache tier
+	// would turn a disk hiccup into an outage. The body says which.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		writeJSON(w, http.StatusOK, e.Health())
 	})
 	mux.HandleFunc("GET /v2/capabilities", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, Capabilities())
@@ -270,9 +273,20 @@ func isSyntaxError(err error) bool {
 	return errors.As(err, &syn)
 }
 
+// retryAfterHint marks retryable failures (503s) with a Retry-After
+// header. The engine drains within one JobTimeout, so "1" is an honest
+// floor for a shutting-down replica; package client reads the hint and
+// waits it out instead of guessing.
+func retryAfterHint(w http.ResponseWriter, apiErr *api.Error) {
+	if apiErr.Code.Retryable() {
+		w.Header().Set("Retry-After", "1")
+	}
+}
+
 // writeV2Error writes the versioned error envelope, carrying the
 // request's ID so a client can quote it against the server's logs.
 func writeV2Error(w http.ResponseWriter, r *http.Request, apiErr *api.Error) {
+	retryAfterHint(w, apiErr)
 	writeJSON(w, apiErr.Code.HTTPStatus(), api.ErrorEnvelope{
 		Error:     apiErr,
 		RequestID: obs.RequestIDFromContext(r.Context()),
@@ -291,6 +305,7 @@ func writeV1Error(w http.ResponseWriter, r *http.Request, apiErr *api.Error) {
 	if id := obs.RequestIDFromContext(r.Context()); id != "" {
 		body["requestId"] = id
 	}
+	retryAfterHint(w, apiErr)
 	writeJSON(w, apiErr.Code.HTTPStatus(), body)
 }
 

@@ -65,6 +65,9 @@ func newMetrics(e *Engine) *metrics {
 	counter("chased_triggers_noop_total", "Chase triggers that produced no new fact across all runs.", &m.triggersNoop)
 	counter("chased_triggers_satisfied_total", "Chase triggers skipped as already satisfied across all runs.", &m.triggersSatisfied)
 	counter("chased_facts_derived_total", "Facts derived by the chase engine across all runs.", &m.factsDerived)
+	counter("chased_store_hits_total", "Decide verdicts served from the persistent store.", &s.storeHits)
+	counter("chased_store_misses_total", "Persistent-store probes that fell through to a computation.", &s.storeMisses)
+	counter("chased_store_errors_total", "Persistent-store failures (degraded-mode short-circuits excluded).", &s.storeErrors)
 	counter("chased_portfolio_decides_total", "Decide requests that ran the termination portfolio (cache misses only).", &s.portfolioDecides)
 	for _, rung := range chaseterm.PortfolioRungNames() {
 		r.LabeledCounter("chased_portfolio_rung_total",
@@ -83,6 +86,12 @@ func newMetrics(e *Engine) *metrics {
 	})
 	r.Gauge("chased_cache_entries", "Entries stored in the verdict cache.", func() float64 {
 		return float64(e.cache.Len())
+	})
+	r.Gauge("chased_store_degraded", "1 while the persistent store is down and the engine serves memory-only, else 0.", func() float64 {
+		if e.storeDegraded() {
+			return 1
+		}
+		return 0
 	})
 
 	const queueHelp = "Time requests spent waiting for a worker slot or a deduplicated flight, by endpoint."

@@ -156,6 +156,10 @@ func TestMetricsExposition(t *testing.T) {
 		"chased_facts_derived_total":      "counter",
 		"chased_portfolio_decides_total":  "counter",
 		"chased_portfolio_rung_total":     "counter",
+		"chased_store_hits_total":         "counter",
+		"chased_store_misses_total":       "counter",
+		"chased_store_errors_total":       "counter",
+		"chased_store_degraded":           "gauge",
 		"chased_uptime_seconds":           "gauge",
 		"chased_in_flight":                "gauge",
 		"chased_pool_queue_depth":         "gauge",
@@ -534,7 +538,7 @@ func TestStatsQueueExecSplit(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		s.observe(2*time.Millisecond, 3*time.Millisecond, false)
 	}
-	snap := s.snapshot(0)
+	snap := s.snapshot(0, false)
 	if snap.QueueP50Millis != 2 || snap.QueueP99Millis != 2 {
 		t.Errorf("queue quantiles %v/%v, want 2/2", snap.QueueP50Millis, snap.QueueP99Millis)
 	}

@@ -28,6 +28,7 @@ import (
 	"chaseterm"
 	"chaseterm/api"
 	"chaseterm/internal/obs"
+	"chaseterm/internal/store"
 )
 
 // ErrBadRequest wraps client errors (malformed rules, unknown variant,
@@ -73,6 +74,14 @@ type Options struct {
 	// pinned after the client's request has already failed.
 	DecideFunc func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
 
+	// Store, when set, persists decide verdicts across process restarts
+	// as a write-through/read-miss layer under the in-memory cache: a
+	// memory miss probes the store before computing, and a fresh verdict
+	// is written through after. The engine never fails a request over the
+	// store — errors are counted, the request recomputes. The caller owns
+	// the store's lifecycle (the engine does not close it).
+	Store store.VerdictStore
+
 	// Logger, when set, receives one structured completion record per
 	// job: request ID, kind, fingerprint, verdict or outcome, cache
 	// result, queue/exec durations, and the error code on failure. Nil
@@ -93,6 +102,7 @@ type Engine struct {
 	pool    *workerPool
 	stats   *Stats
 	metrics *metrics
+	store   store.VerdictStore
 	decide  func(context.Context, *chaseterm.RuleSet, chaseterm.Variant, chaseterm.DecideOptions) (*chaseterm.Verdict, error)
 
 	facade chaseterm.Analyzer
@@ -117,6 +127,7 @@ func New(opts Options) *Engine {
 		cache: newVerdictCache(opts.CacheSize),
 		pool:  newWorkerPool(opts.Workers),
 		stats: newStats(),
+		store: opts.Store,
 	}
 	e.metrics = newMetrics(e)
 	e.decide = opts.DecideFunc
@@ -144,7 +155,7 @@ func (e *Engine) Config() Options { return e.opts }
 func (e *Engine) Stats() *Stats { return e.stats }
 
 // StatsSnapshot captures the counters for serialization.
-func (e *Engine) StatsSnapshot() Snapshot { return e.stats.snapshot(e.cache.Len()) }
+func (e *Engine) StatsSnapshot() Snapshot { return e.stats.snapshot(e.cache.Len(), e.storeDegraded()) }
 
 // beginRequest starts the per-request instrumentation: it ensures the
 // context carries an obs.Trace (creating a pooled one when the caller —
@@ -419,6 +430,12 @@ func (e *Engine) doDecide(ctx context.Context, req api.AnalyzeRequest, rules *ch
 	}
 	key := fmt.Sprintf("decide|%s|%s|%d|%d%s", resp.Fingerprint, variant, shapes, nodeTypes, mode)
 	val, hit, err := e.cache.Do(ctx, key, func() (any, error) {
+		// The store sits under the memory cache as a read-miss layer.
+		// Probing it inside the flight keeps the singleflight guarantee:
+		// N concurrent misses cost one store read, not N.
+		if d, ok := e.storeGet(key); ok {
+			return d, nil
+		}
 		// The flight is shared: deduplicated waiters ride on this one
 		// computation, so it must not die with the leader's request.
 		// Detach from the caller's cancellation and give the flight its
@@ -426,7 +443,7 @@ func (e *Engine) doDecide(ctx context.Context, req api.AnalyzeRequest, rules *ch
 		// while waiting.
 		fctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), e.opts.JobTimeout)
 		defer cancel()
-		return e.pool.Do(fctx, func(ctx context.Context) (any, error) {
+		fresh, err := e.pool.Do(fctx, func(ctx context.Context) (any, error) {
 			if req.Portfolio {
 				return e.decidePortfolio(ctx, rules, variant, chaseterm.DecideOptions{
 					MaxShapes:    shapes,
@@ -438,6 +455,11 @@ func (e *Engine) doDecide(ctx context.Context, req api.AnalyzeRequest, rules *ch
 				MaxNodeTypes: nodeTypes,
 			})
 		})
+		if err != nil {
+			return nil, err
+		}
+		e.storePut(key, fresh)
+		return fresh, nil
 	})
 	if err != nil {
 		return nil, wrapExecErr(err)
@@ -457,6 +479,14 @@ func (e *Engine) doDecide(ctx context.Context, req api.AnalyzeRequest, rules *ch
 		}
 		resp.Decision = apiDecision(v.verdict)
 		decoratePortfolio(resp.Decision, v.portfolio)
+	case *api.Decision:
+		// A verdict loaded from the persistent store — computed by a past
+		// process (or this one, pre-eviction), so it counts as cached even
+		// on a memory-cache miss. Shallow-copied so response post-processing
+		// can never scribble on the cached value.
+		d := *v
+		resp.Decision = &d
+		resp.Cached = true
 	}
 	return resp, nil
 }

@@ -26,6 +26,14 @@ type Stats struct {
 	streamsAborted atomic.Int64
 	streamFacts    atomic.Int64
 
+	// The persistent-store tier: hits served from disk, misses that fell
+	// through to a computation, and errors (backend failures, undecodable
+	// payloads — degraded-mode ErrDegraded returns are not errors, the
+	// transition was already counted once).
+	storeHits   atomic.Int64
+	storeMisses atomic.Int64
+	storeErrors atomic.Int64
+
 	// portfolioDecides counts decide requests that ran the termination
 	// portfolio (cache misses only — the rung ladder actually climbed);
 	// portfolioRungs splits them by the rung that decided. The key set is
@@ -88,6 +96,16 @@ type Snapshot struct {
 	Streams        int64 `json:"streams"`
 	StreamsAborted int64 `json:"streamsAborted"`
 	StreamFacts    int64 `json:"streamFacts"`
+
+	// The persistent verdict-store tier (all zero when no -store is
+	// configured): StoreHits were served from disk, StoreMisses fell
+	// through to a computation, StoreErrors count backend failures, and
+	// StoreDegraded reports the store is down and the engine is serving
+	// memory-only.
+	StoreHits     int64 `json:"storeHits"`
+	StoreMisses   int64 `json:"storeMisses"`
+	StoreErrors   int64 `json:"storeErrors"`
+	StoreDegraded bool  `json:"storeDegraded"`
 
 	// PortfolioDecides counts decide requests that ran the termination
 	// portfolio (cache misses only); PortfolioRungs attributes them to
@@ -238,7 +256,7 @@ func (s *Stats) StreamsAborted() int64 { return s.streamsAborted.Load() }
 // stream batches.
 func (s *Stats) StreamFacts() int64 { return s.streamFacts.Load() }
 
-func (s *Stats) snapshot(cacheEntries int) Snapshot {
+func (s *Stats) snapshot(cacheEntries int, storeDegraded bool) Snapshot {
 	q50, q99 := s.latQueue.quantiles()
 	x50, x99 := s.latExec.quantiles()
 	uptime := time.Since(s.start)
@@ -258,6 +276,10 @@ func (s *Stats) snapshot(cacheEntries int) Snapshot {
 		QueueP99Millis:   ms(q99),
 		ExecP50Millis:    ms(x50),
 		ExecP99Millis:    ms(x99),
+		StoreHits:        s.storeHits.Load(),
+		StoreMisses:      s.storeMisses.Load(),
+		StoreErrors:      s.storeErrors.Load(),
+		StoreDegraded:    storeDegraded,
 		Streams:          s.streams.Load(),
 		StreamsAborted:   s.streamsAborted.Load(),
 		StreamFacts:      s.streamFacts.Load(),

@@ -75,7 +75,7 @@ func TestLatencyQuantilesNearestRank(t *testing.T) {
 func TestSnapshotRuntimeCounters(t *testing.T) {
 	s := newStats()
 	s.observe(2*time.Millisecond, 3*time.Millisecond, false)
-	snap := s.snapshot(0)
+	snap := s.snapshot(0, false)
 	rt := snap.Runtime
 	if rt.HeapAllocBytes == 0 || rt.TotalAllocBytes == 0 || rt.Mallocs == 0 {
 		t.Errorf("runtime memory counters not populated: %+v", rt)

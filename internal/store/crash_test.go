@@ -1,0 +1,339 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// putRec remembers one acknowledged Put and where the log ended after
+// it — the durability boundary the crash property tests cut against.
+type putRec struct {
+	key, val string
+	end      int64
+}
+
+// buildLog runs a scripted sequence of puts under FsyncAlways and
+// returns the final log image plus the per-put durability boundaries.
+// The script mixes fresh keys, overwrites, empty and binary values.
+func buildLog(t *testing.T, n int) ([]byte, []putRec) {
+	t.Helper()
+	fs := NewMemFS()
+	s := openMem(t, fs, Options{Fsync: FsyncAlways})
+	puts := make([]putRec, 0, n)
+	for i := 0; i < n; i++ {
+		key := fmt.Sprintf("key-%d", i%5) // 5 keys, repeatedly overwritten
+		val := fmt.Sprintf("val-%d\x00%s", i, strings.Repeat("x", i%17))
+		mustPut(t, s, key, val)
+		puts = append(puts, putRec{key: key, val: val, end: s.Stats().SizeBytes})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return fs.FileData(testPath), puts
+}
+
+// expectedAt computes the live map a correct recovery must produce
+// from the log prefix [0, cut): last-wins over every put whose record
+// ends at or before the cut.
+func expectedAt(puts []putRec, cut int64) map[string]string {
+	want := make(map[string]string)
+	for _, p := range puts {
+		if p.end <= cut {
+			want[p.key] = p.val
+		}
+	}
+	return want
+}
+
+// verifyRecovered opens the store over image truncated (or corrupted)
+// as given and checks it serves exactly the expected live set.
+func verifyRecovered(t *testing.T, s *FileStore, want map[string]string, label string) {
+	t.Helper()
+	if got := s.Len(); got != len(want) {
+		t.Fatalf("%s: recovered %d records, want %d", label, got, len(want))
+	}
+	for k, v := range want {
+		got, ok, err := s.Get(k)
+		if err != nil || !ok || string(got) != v {
+			t.Fatalf("%s: Get(%q) = (%q, %v, %v), want (%q, true, nil)", label, k, got, ok, err, v)
+		}
+	}
+}
+
+// TestCrashAtEveryByte is the core crash-safety property: for a crash
+// image cut at EVERY byte offset of the log, reopening serves exactly
+// the fully-acknowledged puts whose records fit in the prefix — never
+// a torn record, never a corrupt value, never a lost earlier verdict.
+func TestCrashAtEveryByte(t *testing.T) {
+	image, puts := buildLog(t, 40)
+	for cut := int64(0); cut <= int64(len(image)); cut++ {
+		fs := NewMemFS()
+		fs.SetFileData(testPath, image[:cut])
+		s, err := Open(testPath, Options{Fsync: FsyncAlways, FS: fs})
+		if err != nil {
+			t.Fatalf("cut %d: Open: %v", cut, err)
+		}
+		verifyRecovered(t, s, expectedAt(puts, cut), fmt.Sprintf("cut %d", cut))
+		durable := int64(len(magic)) // where the valid prefix ends
+		if i := lastFit(puts, cut); i >= 0 {
+			durable = puts[i].end
+		}
+		wantRecovered := cut - durable
+		if cut < int64(len(magic)) {
+			wantRecovered = 0 // shorter than the header: reset, nothing "recovered"
+		}
+		if st := s.Stats(); st.RecoveredBytes != wantRecovered {
+			t.Fatalf("cut %d: RecoveredBytes = %d, want %d", cut, st.RecoveredBytes, wantRecovered)
+		}
+		// The recovered store must accept new writes and survive a clean
+		// reopen — recovery may not leave the file in a half-state.
+		if err := s.Put("post-crash", []byte("fresh")); err != nil {
+			t.Fatalf("cut %d: Put after recovery: %v", cut, err)
+		}
+		s.Close()
+		s2 := openMem(t, fs, Options{Fsync: FsyncAlways})
+		wantGet(t, s2, "post-crash", "fresh")
+		s2.Close()
+	}
+}
+
+// lastFit returns the index of the last put whose record fits in the
+// prefix [0, cut), or -1.
+func lastFit(puts []putRec, cut int64) int {
+	last := -1
+	for i, p := range puts {
+		if p.end <= cut {
+			last = i
+		}
+	}
+	return last
+}
+
+// TestBitFlipNeverServesCorruptValue flips every single byte of a
+// valid log in turn and asserts the store either refuses to open
+// (header damage) or serves only values it can vouch for: the state
+// must equal recovery at some put boundary, because a flipped record
+// fails its checksum and truncates the scan there.
+func TestBitFlipNeverServesCorruptValue(t *testing.T) {
+	image, puts := buildLog(t, 12)
+	for i := range image {
+		mutated := append([]byte(nil), image...)
+		mutated[i] ^= 0xFF
+		fs := NewMemFS()
+		fs.SetFileData(testPath, mutated)
+		s, err := Open(testPath, Options{Fsync: FsyncAlways, FS: fs})
+		if err != nil {
+			if i < len(magic) && errors.Is(err, ErrNotStore) {
+				continue // header damage: refusing to open is correct
+			}
+			t.Fatalf("flip %d: Open: %v", i, err)
+		}
+		// The flip lands in record k, so the scan must truncate at k's
+		// start: state is recovery at the previous put boundary.
+		cut := int64(len(magic))
+		for _, p := range puts {
+			if int64(i) < p.end {
+				break
+			}
+			cut = p.end
+		}
+		verifyRecovered(t, s, expectedAt(puts, cut), fmt.Sprintf("flip %d", i))
+		s.Close()
+	}
+}
+
+// TestFsyncErrorRollsBack: an fsync failure under FsyncAlways must
+// fail the Put, leave the log at its previous acknowledged end, and
+// leave the store usable once fsync works again.
+func TestFsyncErrorRollsBack(t *testing.T) {
+	fs := NewMemFS()
+	s := openMem(t, fs, Options{Fsync: FsyncAlways})
+	defer s.Close()
+	mustPut(t, s, "a", "alpha")
+	before := s.Stats().SizeBytes
+
+	fs.SetSyncHook(func(string) error { return errors.New("injected fsync failure") })
+	if err := s.Put("b", []byte("beta")); err == nil {
+		t.Fatal("Put succeeded despite fsync failure")
+	}
+	if got := s.Stats().SizeBytes; got != before {
+		t.Fatalf("log size %d after rolled-back Put, want %d", got, before)
+	}
+	wantMiss(t, s, "b")
+	wantGet(t, s, "a", "alpha")
+
+	fs.SetSyncHook(nil)
+	mustPut(t, s, "b", "beta")
+	wantGet(t, s, "b", "beta")
+}
+
+// TestShortWriteRollsBack: a short append (disk full mid-record, say)
+// must be truncated away so no torn record is left for a later crash.
+func TestShortWriteRollsBack(t *testing.T) {
+	fs := NewMemFS()
+	s := openMem(t, fs, Options{Fsync: FsyncAlways})
+	defer s.Close()
+	mustPut(t, s, "a", "alpha")
+
+	fail := true
+	fs.SetWriteHook(func(name string, op int, p []byte) (int, error) {
+		if fail && name == testPath {
+			return len(p) / 2, nil
+		}
+		return len(p), nil
+	})
+	if err := s.Put("b", []byte("beta")); err == nil {
+		t.Fatal("Put succeeded despite short write")
+	}
+	fail = false
+	wantMiss(t, s, "b")
+	mustPut(t, s, "b", "beta")
+	s.Close()
+
+	s2 := openMem(t, fs, Options{Fsync: FsyncAlways})
+	defer s2.Close()
+	wantGet(t, s2, "a", "alpha")
+	wantGet(t, s2, "b", "beta")
+	if st := s2.Stats(); st.RecoveredBytes != 0 {
+		t.Fatalf("RecoveredBytes = %d after in-process rollback, want 0", st.RecoveredBytes)
+	}
+}
+
+// TestENOSPC: out-of-space appends fail cleanly and the store recovers
+// as soon as space frees up.
+func TestENOSPC(t *testing.T) {
+	fs := NewMemFS()
+	s := openMem(t, fs, Options{Fsync: FsyncAlways})
+	defer s.Close()
+	mustPut(t, s, "a", "alpha")
+
+	full := true
+	fs.SetWriteHook(func(name string, op int, p []byte) (int, error) {
+		if full && name == testPath {
+			return 0, syscall.ENOSPC
+		}
+		return len(p), nil
+	})
+	err := s.Put("b", []byte("beta"))
+	if !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("Put = %v, want ENOSPC", err)
+	}
+	wantGet(t, s, "a", "alpha")
+	full = false
+	mustPut(t, s, "b", "beta")
+	wantGet(t, s, "b", "beta")
+}
+
+// TestRollbackFailureGoesSticky: when the append fails AND the
+// rollback truncate fails, the handle can no longer vouch for the file
+// and must refuse all further operations with a sticky error.
+func TestRollbackFailureGoesSticky(t *testing.T) {
+	fs := NewMemFS()
+	s := openMem(t, fs, Options{Fsync: FsyncAlways})
+	defer s.Close()
+	mustPut(t, s, "a", "alpha")
+
+	fs.SetWriteHook(func(name string, op int, p []byte) (int, error) {
+		return 0, errors.New("injected write failure")
+	})
+	fs.SetTruncateHook(func(string, int64) error { return errors.New("injected truncate failure") })
+	if err := s.Put("b", []byte("beta")); err == nil {
+		t.Fatal("Put succeeded despite write failure")
+	}
+	fs.SetWriteHook(nil)
+	fs.SetTruncateHook(nil)
+	// Even with the faults cleared, the handle is done.
+	if err := s.Put("c", []byte("gamma")); err == nil {
+		t.Fatal("Put succeeded on a sticky-failed store")
+	}
+	if _, _, err := s.Get("a"); err == nil {
+		t.Fatal("Get succeeded on a sticky-failed store")
+	}
+	// A reopen — what the Resilient wrapper does — starts clean.
+	s2 := openMem(t, fs, Options{Fsync: FsyncAlways})
+	defer s2.Close()
+	wantGet(t, s2, "a", "alpha")
+}
+
+// TestCrashMidCompaction: a rename failure (standing in for a crash
+// between temp write and rename) must abort compaction with zero data
+// loss, and the stale temp file a real crash leaves behind must be
+// swept by the next Open.
+func TestCrashMidCompaction(t *testing.T) {
+	fs := NewMemFS()
+	s := openMem(t, fs, Options{Fsync: FsyncAlways, CompactMinBytes: 512})
+	renameFailed := make(chan struct{}, 16)
+	fail := true
+	fs.SetRenameHook(func(oldpath, newpath string) error {
+		if fail && strings.HasSuffix(oldpath, compactSuffix) {
+			renameFailed <- struct{}{}
+			return errors.New("injected rename failure")
+		}
+		return nil
+	})
+	for i := 0; i < 50; i++ {
+		mustPut(t, s, "hot", fmt.Sprintf("round-%d", i))
+	}
+	mustPut(t, s, "cold", "stable")
+	select {
+	case <-renameFailed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("compaction never attempted its rename")
+	}
+	// The failed compaction must not have lost or corrupted anything.
+	wantGet(t, s, "hot", "round-49")
+	wantGet(t, s, "cold", "stable")
+	if s.Stats().Compactions != 0 {
+		t.Fatalf("Compactions = %d after aborted compaction, want 0", s.Stats().Compactions)
+	}
+
+	// Let compaction succeed; more dead bytes will re-trigger it.
+	fail = false
+	for i := 0; i < 50; i++ {
+		mustPut(t, s, "hot", fmt.Sprintf("again-%d", i))
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Compactions == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no compaction after clearing fault: %+v", s.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	wantGet(t, s, "hot", "again-49")
+	wantGet(t, s, "cold", "stable")
+	s.Close()
+
+	// A crash that dies between temp write and rename leaves the temp
+	// on disk; Open must remove it and serve the original log.
+	fs.SetFileData(testPath+compactSuffix, []byte("half-written compaction temp"))
+	s2 := openMem(t, fs, Options{Fsync: FsyncAlways})
+	defer s2.Close()
+	wantGet(t, s2, "hot", "again-49")
+	wantGet(t, s2, "cold", "stable")
+	if fs.Exists(testPath + compactSuffix) {
+		t.Fatal("stale compaction temp survived Open")
+	}
+}
+
+// TestIntervalCrashLosesOnlyUnsynced: under FsyncInterval a crash
+// before the flusher fires loses the unsynced tail — and nothing else.
+func TestIntervalCrashLosesOnlyUnsynced(t *testing.T) {
+	fs := NewMemFS()
+	s := openMem(t, fs, Options{Fsync: FsyncInterval, Interval: time.Hour})
+	mustPut(t, s, "durable", "yes")
+	if err := s.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	mustPut(t, s, "volatile", "gone")
+	fs.Crash()
+	s.Close()
+
+	s2 := openMem(t, fs, Options{Fsync: FsyncAlways})
+	defer s2.Close()
+	wantGet(t, s2, "durable", "yes")
+	wantMiss(t, s2, "volatile")
+}

@@ -1,0 +1,56 @@
+package store
+
+import (
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem seam of the store: every byte the store reads or
+// writes goes through one of these calls, so tests can inject short
+// writes, fsync failures, ENOSPC, and crash-at-failpoint without
+// touching a real disk. The production implementation is OSFS.
+type FS interface {
+	// OpenFile opens name with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes name; removing a missing file is an error, which
+	// callers cleaning up speculatively may ignore.
+	Remove(name string) error
+}
+
+// File is the per-handle surface the store needs: positioned reads and
+// writes (the store tracks its own append offset), durability, and
+// truncation for torn-tail recovery and write rollback.
+type File interface {
+	ReadAt(p []byte, off int64) (int, error)
+	WriteAt(p []byte, off int64) (int, error)
+	Sync() error
+	Truncate(size int64) error
+	Size() (int64, error)
+	Close() error
+}
+
+// OSFS is the real-disk FS. The zero value is ready to use.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return osFile{f}, nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OSFS) Remove(name string) error             { return os.Remove(name) }
+
+type osFile struct{ *os.File }
+
+func (f osFile) Size() (int64, error) {
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -1,0 +1,277 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"sync"
+)
+
+// MemFS is an in-memory FS with injectable faults and a crash model,
+// built for the store's fault-injection tests (and exported so the
+// service layer's degradation tests can reuse it). It tracks, per file,
+// which prefix of the content has been made durable by Sync: Crash
+// discards everything after that point, which is exactly the state a
+// reopening store would find after the machine died with unsynced page
+// cache.
+//
+// Fault hooks are installed with SetWriteHook / SetSyncHook /
+// SetRenameHook and may be swapped at any time, including while another
+// goroutine is mid-operation; the hooks are read under the FS lock.
+type MemFS struct {
+	mu     sync.Mutex
+	files  map[string]*memFile
+	writes int // global WriteAt operation counter, for "fail the Nth write" hooks
+
+	// writeHook, when non-nil, intercepts every WriteAt: it receives the
+	// file name, the 1-based global write index, and the buffer, and
+	// returns how many bytes to actually persist plus the error to
+	// report. A short count with a nil error is reported as ErrShortWrite
+	// by the File.
+	writeHook func(name string, op int, p []byte) (int, error)
+	// syncHook, when non-nil, intercepts Sync; a non-nil return leaves
+	// the durable prefix unchanged.
+	syncHook func(name string) error
+	// renameHook, when non-nil, runs before a Rename; a non-nil return
+	// aborts the rename (used to simulate a crash mid-compaction).
+	renameHook func(oldpath, newpath string) error
+	// truncateHook, when non-nil, runs before a Truncate; a non-nil
+	// return aborts it (used to fail a rollback and drive the store into
+	// its sticky-failed state).
+	truncateHook func(name string, size int64) error
+}
+
+type memFile struct {
+	data   []byte
+	synced int // durable prefix length; Crash truncates to this
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{files: make(map[string]*memFile)}
+}
+
+// SetWriteHook installs (or, with nil, removes) the WriteAt fault hook.
+func (m *MemFS) SetWriteHook(h func(name string, op int, p []byte) (int, error)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.writeHook = h
+}
+
+// SetSyncHook installs (or, with nil, removes) the Sync fault hook.
+func (m *MemFS) SetSyncHook(h func(name string) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.syncHook = h
+}
+
+// SetRenameHook installs (or, with nil, removes) the Rename fault hook.
+func (m *MemFS) SetRenameHook(h func(oldpath, newpath string) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.renameHook = h
+}
+
+// SetTruncateHook installs (or, with nil, removes) the Truncate fault hook.
+func (m *MemFS) SetTruncateHook(h func(name string, size int64) error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.truncateHook = h
+}
+
+// Crash simulates losing power: every file keeps only its durable
+// (synced) prefix. Open handles remain usable — a test reopening a
+// store after Crash should open fresh handles, matching a restarted
+// process.
+func (m *MemFS) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, f := range m.files {
+		f.data = f.data[:f.synced]
+	}
+}
+
+// FileData returns a copy of name's current content (nil when absent).
+func (m *MemFS) FileData(name string) []byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return nil
+	}
+	return append([]byte(nil), f.data...)
+}
+
+// SetFileData replaces name's content with a copy of data and marks all
+// of it durable — the way tests materialize an arbitrary crash image.
+func (m *MemFS) SetFileData(name string, data []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.files[name] = &memFile{data: append([]byte(nil), data...), synced: len(data)}
+}
+
+// SyncedLen returns how many bytes of name are durable.
+func (m *MemFS) SyncedLen(name string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	if !ok {
+		return 0
+	}
+	return f.synced
+}
+
+// Exists reports whether name exists.
+func (m *MemFS) Exists(name string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.files[name]
+	return ok
+}
+
+func (m *MemFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+	case !ok:
+		f = &memFile{}
+		m.files[name] = f
+	case flag&os.O_TRUNC != 0:
+		f.data = nil
+		f.synced = 0
+	}
+	return &memHandle{fs: m, name: name, f: f}, nil
+}
+
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.renameHook != nil {
+		if err := m.renameHook(oldpath, newpath); err != nil {
+			return err
+		}
+	}
+	f, ok := m.files[oldpath]
+	if !ok {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	m.files[newpath] = f
+	delete(m.files, oldpath)
+	return nil
+}
+
+func (m *MemFS) Remove(name string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.files[name]; !ok {
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(m.files, name)
+	return nil
+}
+
+// memHandle is one open handle. Handles share the memFile, so a rename
+// keeps them valid — the same POSIX behavior the compactor relies on.
+type memHandle struct {
+	fs     *MemFS
+	name   string
+	f      *memFile
+	closed bool
+}
+
+func (h *memHandle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if off < 0 || off > int64(len(h.f.data)) {
+		return 0, fmt.Errorf("store: memfs read at %d beyond size %d: %w", off, len(h.f.data), io.EOF)
+	}
+	n := copy(p, h.f.data[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *memHandle) WriteAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	h.fs.writes++
+	allow, err := len(p), error(nil)
+	if h.fs.writeHook != nil {
+		allow, err = h.fs.writeHook(h.name, h.fs.writes, p)
+		if allow > len(p) {
+			allow = len(p)
+		}
+	}
+	end := off + int64(allow)
+	if grow := end - int64(len(h.f.data)); grow > 0 {
+		h.f.data = append(h.f.data, make([]byte, grow)...)
+	}
+	copy(h.f.data[off:end], p[:allow])
+	if err == nil && allow < len(p) {
+		err = io.ErrShortWrite
+	}
+	return allow, err
+}
+
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.fs.syncHook != nil {
+		if err := h.fs.syncHook(h.name); err != nil {
+			return err
+		}
+	}
+	h.f.synced = len(h.f.data)
+	return nil
+}
+
+func (h *memHandle) Truncate(size int64) error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.fs.truncateHook != nil {
+		if err := h.fs.truncateHook(h.name, size); err != nil {
+			return err
+		}
+	}
+	if size < 0 || size > int64(len(h.f.data)) {
+		return fmt.Errorf("store: memfs truncate %d outside [0, %d]", size, len(h.f.data))
+	}
+	h.f.data = h.f.data[:size]
+	if h.f.synced > int(size) {
+		h.f.synced = int(size)
+	}
+	return nil
+}
+
+func (h *memHandle) Size() (int64, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	return int64(len(h.f.data)), nil
+}
+
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}

@@ -1,0 +1,258 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeStore is a scriptable in-memory VerdictStore whose operations
+// can be made to fail on demand.
+type fakeStore struct {
+	mu     sync.Mutex
+	m      map[string][]byte
+	fail   error
+	closed bool
+}
+
+func newFakeStore() *fakeStore { return &fakeStore{m: make(map[string][]byte)} }
+
+func (f *fakeStore) setFail(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fail = err
+}
+
+func (f *fakeStore) Get(key string) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return nil, false, f.fail
+	}
+	v, ok := f.m[key]
+	return v, ok, nil
+}
+
+func (f *fakeStore) Put(key string, val []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail != nil {
+		return f.fail
+	}
+	f.m[key] = append([]byte(nil), val...)
+	return nil
+}
+
+func (f *fakeStore) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.closed = true
+	return nil
+}
+
+// countingHandler counts log records by level, for the
+// one-WARN-per-transition assertion.
+type countingHandler struct {
+	mu    sync.Mutex
+	warns int
+	infos int
+}
+
+func (h *countingHandler) Enabled(context.Context, slog.Level) bool { return true }
+func (h *countingHandler) Handle(_ context.Context, r slog.Record) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	switch r.Level {
+	case slog.LevelWarn:
+		h.warns++
+	case slog.LevelInfo:
+		h.infos++
+	}
+	return nil
+}
+func (h *countingHandler) WithAttrs([]slog.Attr) slog.Handler { return h }
+func (h *countingHandler) WithGroup(string) slog.Handler      { return h }
+
+func (h *countingHandler) counts() (warns, infos int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.warns, h.infos
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestResilientDegradeAndRecover: a backend failure flips the wrapper
+// into degraded mode (one WARN), degraded ops return ErrDegraded
+// without touching the backend, and the reopen loop restores service
+// (one INFO) once the backend heals.
+func TestResilientDegradeAndRecover(t *testing.T) {
+	h := &countingHandler{}
+	injected := errors.New("injected backend failure")
+	var mu sync.Mutex
+	openOK := true
+	var current *fakeStore
+	open := func() (VerdictStore, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !openOK {
+			return nil, errors.New("injected open failure")
+		}
+		current = newFakeStore()
+		return current, nil
+	}
+	r := NewResilient(open, WithLogger(slog.New(h)), WithBackoff(2*time.Millisecond, 10*time.Millisecond))
+	defer r.Close()
+
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatalf("healthy Put: %v", err)
+	}
+	if v, ok, err := r.Get("k"); err != nil || !ok || string(v) != "v" {
+		t.Fatalf("healthy Get = (%q, %v, %v)", v, ok, err)
+	}
+	if r.Degraded() {
+		t.Fatal("healthy wrapper reports degraded")
+	}
+
+	// Break the backend AND the reopen, so degradation holds.
+	mu.Lock()
+	openOK = false
+	mu.Unlock()
+	current.setFail(injected)
+	if err := r.Put("k2", []byte("v2")); !errors.Is(err, injected) {
+		t.Fatalf("Put on broken backend = %v, want the backend error", err)
+	}
+	if !r.Degraded() {
+		t.Fatal("wrapper not degraded after backend failure")
+	}
+	if err := r.Put("k3", []byte("v3")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded Put = %v, want ErrDegraded", err)
+	}
+	if _, _, err := r.Get("k"); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("degraded Get = %v, want ErrDegraded", err)
+	}
+	st := r.Status()
+	if !st.Enabled || !st.Degraded || st.Transitions != 1 || st.LastError == "" {
+		t.Fatalf("Status = %+v, want enabled, degraded, 1 transition, an error", st)
+	}
+	if warns, _ := h.counts(); warns != 1 {
+		t.Fatalf("%d WARNs for one degradation, want exactly 1", warns)
+	}
+
+	// Heal the open path; the backoff loop should recover on its own.
+	mu.Lock()
+	openOK = true
+	mu.Unlock()
+	waitFor(t, "recovery", func() bool { return !r.Degraded() })
+	if err := r.Put("k4", []byte("v4")); err != nil {
+		t.Fatalf("Put after recovery: %v", err)
+	}
+	if warns, infos := h.counts(); warns != 1 || infos != 1 {
+		t.Fatalf("after recovery: %d WARNs / %d INFOs, want 1 / 1", warns, infos)
+	}
+	if st := r.Status(); st.Degraded || st.Transitions != 1 {
+		t.Fatalf("Status after recovery = %+v", st)
+	}
+}
+
+// TestResilientStartsDegradedOnOpenFailure: a failing first open is
+// not fatal — the wrapper starts degraded and self-heals when the
+// backend becomes available.
+func TestResilientStartsDegradedOnOpenFailure(t *testing.T) {
+	var mu sync.Mutex
+	openOK := false
+	open := func() (VerdictStore, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !openOK {
+			return nil, errors.New("disk not mounted yet")
+		}
+		return newFakeStore(), nil
+	}
+	r := NewResilient(open, WithBackoff(2*time.Millisecond, 10*time.Millisecond))
+	defer r.Close()
+	if !r.Degraded() {
+		t.Fatal("wrapper not degraded after failed first open")
+	}
+	if err := r.Put("k", []byte("v")); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Put while degraded = %v, want ErrDegraded", err)
+	}
+	mu.Lock()
+	openOK = true
+	mu.Unlock()
+	waitFor(t, "self-heal", func() bool { return !r.Degraded() })
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put after self-heal: %v", err)
+	}
+}
+
+// TestResilientClose: Close shuts the backend, stops the retry loop,
+// and makes every subsequent operation ErrClosed.
+func TestResilientClose(t *testing.T) {
+	fs := newFakeStore()
+	r := NewResilient(func() (VerdictStore, error) { return fs, nil })
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !fs.closed {
+		t.Fatal("backend not closed")
+	}
+	if err := r.Put("k", []byte("v")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after Close = %v, want ErrClosed", err)
+	}
+	if _, _, err := r.Get("k"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after Close = %v, want ErrClosed", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestResilientCloseWhileDegraded: closing mid-backoff must not hang
+// and must stop the retry goroutine.
+func TestResilientCloseWhileDegraded(t *testing.T) {
+	r := NewResilient(func() (VerdictStore, error) {
+		return nil, errors.New("always down")
+	}, WithBackoff(time.Hour, time.Hour)) // a retry that would never fire
+	if !r.Degraded() {
+		t.Fatal("not degraded")
+	}
+	done := make(chan error, 1)
+	go func() { done <- r.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung while degraded")
+	}
+}
+
+// TestResilientFileStatus: Status over a healthy FileStore backend
+// includes the file summary.
+func TestResilientFileStatus(t *testing.T) {
+	fs := NewMemFS()
+	r := NewResilient(func() (VerdictStore, error) {
+		return Open(testPath, Options{Fsync: FsyncNever, FS: fs})
+	})
+	defer r.Close()
+	if err := r.Put("k", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	st := r.Status()
+	if st.File == nil || st.File.Records != 1 || st.File.Path != testPath {
+		t.Fatalf("Status.File = %+v, want 1 record at %q", st.File, testPath)
+	}
+}
