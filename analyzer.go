@@ -88,6 +88,10 @@ type Request struct {
 	renderFacts    bool
 	withAcyclicity bool
 	sink           ChaseSink
+	// parallelism, when > 0, is the default match-worker count for every
+	// chase the request runs (WithParallelism); explicit Workers fields
+	// in the budget options win.
+	parallelism int
 	// portfolio, when set, routes the all-instance AnalyzeDecide through
 	// the termination portfolio (WithPortfolio).
 	portfolio *PortfolioOptions
@@ -156,6 +160,19 @@ func WithFacts() RequestOption {
 // budget or a cancelable context to stop a diverging run.
 func WithChaseSink(sink ChaseSink) RequestOption {
 	return func(r *Request) { r.sink = sink }
+}
+
+// WithParallelism sets the match-worker count for every chase the
+// request runs: the AnalyzeChase engine itself and the bounded
+// critical-instance chases inside AnalyzeDecide (the oracle and
+// saturation rungs). The parallel engine splits each generation's
+// matching across n goroutines while fact application stays
+// single-writer, so outcomes, statistics, and the final instance are
+// bit-identical to a sequential run at every n. Values below 2 mean
+// sequential. An explicit Workers in WithChaseBudgets or OracleWorkers
+// in WithDecideBudgets takes precedence.
+func WithParallelism(n int) RequestOption {
+	return func(r *Request) { r.parallelism = n }
 }
 
 // WithAcyclicity attaches the positional acyclicity report
@@ -293,6 +310,14 @@ func (Analyzer) analyze(ctx context.Context, req Request) (*Report, error) {
 		// falling back to the all-instance / critical-instance behavior
 		// would answer a different question.
 		return nil, fmt.Errorf("chaseterm: analysis request has a nil database")
+	}
+	if req.parallelism > 0 {
+		if req.chaseOpts.Workers == 0 {
+			req.chaseOpts.Workers = req.parallelism
+		}
+		if req.decideOpts.OracleWorkers == 0 {
+			req.decideOpts.OracleWorkers = req.parallelism
+		}
 	}
 	tr := obs.FromContext(ctx) // nil-safe: Add on a nil trace is a no-op
 	stage := time.Now()

@@ -71,6 +71,14 @@ type AnalyzeRequest struct {
 	MaxTriggers int `json:"maxTriggers,omitempty"`
 	MaxFacts    int `json:"maxFacts,omitempty"`
 	MaxDepth    int `json:"maxDepth,omitempty"`
+	// ChaseWorkers sets the chase engine's match parallelism for this
+	// request: with a value > 1 each generation's matching is split
+	// across that many goroutines while fact application stays
+	// single-writer, so results are bit-identical to a sequential run.
+	// Zero defers to the server's configured default; 1 forces
+	// sequential. Servers that predate the parallel engine reject the
+	// field; probe Capabilities.ParallelChase first.
+	ChaseWorkers int `json:"chaseWorkers,omitempty"`
 	// ReturnFacts includes the final instance in a chase response; off
 	// by default because instances can be large.
 	ReturnFacts bool `json:"returnFacts,omitempty"`
@@ -225,6 +233,9 @@ type Capabilities struct {
 	// PortfolioRungs lists the portfolio's rung names in ladder order —
 	// the label set of the per-rung counters in /metrics and /v1/stats.
 	PortfolioRungs []string `json:"portfolioRungs,omitempty"`
+	// ParallelChase reports that chase requests accept the
+	// "chaseWorkers" field.
+	ParallelChase bool `json:"parallelChase"`
 }
 
 // BatchRequest is the body of POST /v2/batch: an ordered list of jobs,

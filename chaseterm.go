@@ -299,6 +299,13 @@ type ChaseOptions struct {
 	MaxTriggers int
 	MaxFacts    int
 	MaxDepth    int
+	// Workers sets the engine's match parallelism: with Workers > 1 the
+	// FIFO engine matches each generation's new facts on that many
+	// goroutines while fact application stays single-writer. Results are
+	// bit-identical to the sequential engine at every worker count; 0 or
+	// 1 runs sequentially. See WithParallelism for the request-level knob
+	// that also covers the deciders' internal chases.
+	Workers int
 }
 
 // ChaseStats aggregates run statistics.
@@ -454,6 +461,7 @@ func runChase(ctx context.Context, db *Database, rules *RuleSet, v Variant, opt 
 		MaxTriggers: opt.MaxTriggers,
 		MaxFacts:    opt.MaxFacts,
 		MaxDepth:    int32(opt.MaxDepth),
+		Workers:     opt.Workers,
 	}
 	var res *chase.Result
 	var err error
@@ -587,6 +595,10 @@ type DecideOptions struct {
 	// chase for general rule sets.
 	OracleMaxTriggers int
 	OracleMaxFacts    int
+	// OracleWorkers sets the match parallelism of the deciders' internal
+	// chases (the critical-instance oracle and saturation rungs). 0 or 1
+	// runs them sequentially; verdicts are identical at every count.
+	OracleWorkers int
 }
 
 // DecideTerminationOpts is DecideTermination with explicit budgets.
@@ -629,6 +641,7 @@ func decideTermination(ctx context.Context, rules *RuleSet, v Variant, opt Decid
 		},
 		OracleMaxTriggers: opt.OracleMaxTriggers,
 		OracleMaxFacts:    opt.OracleMaxFacts,
+		OracleWorkers:     opt.OracleWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -761,7 +774,7 @@ func decideOnDatabase(ctx context.Context, db *Database, rules *RuleSet, v Varia
 		out := fromCoreVerdict(res.Verdict, class)
 		return out, nil
 	default:
-		budgets := ChaseOptions{MaxTriggers: 200_000, MaxFacts: 200_000}
+		budgets := ChaseOptions{MaxTriggers: 200_000, MaxFacts: 200_000, Workers: opt.OracleWorkers}
 		if opt.OracleMaxTriggers > 0 {
 			budgets.MaxTriggers = opt.OracleMaxTriggers
 		}

@@ -134,6 +134,16 @@ type Options struct {
 	StopOnCyclicSkolem bool
 	// Order selects the trigger scheduling policy (default OrderFIFO).
 	Order Order
+	// Workers selects the generation-based parallel engine: trigger
+	// matching fans out over this many workers against a frozen snapshot
+	// while applications stay under the single writer (see parallel.go).
+	// 0 and 1 run the classic sequential loop. The parallel engine is
+	// defined only for OrderFIFO — the other orders are inherently
+	// sequential scheduling policies — and silently degrades to the
+	// sequential loop for them. At any worker count the results are
+	// bit-identical to the sequential engine: same facts and fact ids,
+	// same invented terms, same outcome and statistics.
+	Workers int
 }
 
 // Order is a trigger scheduling policy. The paper distinguishes the
@@ -187,6 +197,14 @@ func (o Options) withDefaults() Options {
 	if o.MaxDepth <= 0 {
 		o.MaxDepth = 1 << 30
 	}
+	if o.Workers < 0 {
+		o.Workers = 0
+	}
+	// A worker is one OS-schedulable goroutine per match phase; beyond
+	// any plausible core count extra workers only cost spawn overhead.
+	if o.Workers > 1024 {
+		o.Workers = 1024
+	}
 	return o
 }
 
@@ -230,12 +248,15 @@ type Result struct {
 // render the facts of the reported range) but must not retain
 // references across calls and must not mutate the instance.
 type StreamSink interface {
-	// EmitFacts reports that one trigger application appended the facts
-	// [lo, hi) to the instance. Ranges are contiguous and strictly
-	// increasing: successive calls tile the derived suffix of the
-	// instance exactly once, so a consumer streaming the run sees every
-	// derived fact once and in derivation order. stats is the running
-	// total after the application.
+	// EmitFacts reports that the facts [lo, hi) were appended to the
+	// instance — by one trigger application (sequential engine) or by
+	// one generation batch (parallel engine, Options.Workers > 1).
+	// Either way ranges are contiguous and strictly increasing:
+	// successive calls tile the derived suffix of the instance exactly
+	// once, so a consumer streaming the run sees every derived fact once
+	// and in derivation order, and the union of the emitted ranges is
+	// identical at every worker count. stats is the running total after
+	// the application(s).
 	EmitFacts(lo, hi instance.FactID, stats Stats)
 	// Progress is a liveness heartbeat, delivered every ~ctxCheckInterval
 	// scheduler steps even when no facts are being derived — e.g. a
@@ -325,6 +346,13 @@ type Engine struct {
 	// RunStreamContext). The hot loop pays one nil check per applied
 	// trigger when unset, preserving the zero-allocation steady state.
 	sink StreamSink
+	// deferDiscovery, set by the parallel engine's writer phase, makes
+	// apply skip inline trigger discovery: the generation's delta facts
+	// are matched afterwards against a frozen snapshot (see parallel.go).
+	deferDiscovery bool
+	// par is the parallel engine's reusable fan-out state (stripes and
+	// merge refs); nil until the first parallel run.
+	par *parRun
 }
 
 // push schedules a trigger according to the configured order.
@@ -596,6 +624,9 @@ func (e *Engine) RunStreamContext(ctx context.Context, sink StreamSink) (*Result
 //
 //chaselint:hotpath
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	if e.opt.Workers > 1 && e.opt.Order == OrderFIFO {
+		return e.runParallel(ctx)
+	}
 	done := ctx.Done() // nil for context.Background(): checks compile out
 	e.stats.InitialFacts = e.in.Size()
 	// Seed: all homomorphisms on the initial instance. Seeding a rule is
@@ -745,7 +776,9 @@ func (e *Engine) apply(cr *compiledRule, fr []instance.TermID) (added int, maxDe
 		if isNew {
 			added++
 			e.stats.FactsAdded++
-			e.discover(fid)
+			if !e.deferDiscovery {
+				e.discover(fid)
+			}
 		}
 	}
 	e.argBuf = args[:0]

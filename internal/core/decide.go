@@ -33,6 +33,10 @@ type DecideOptions struct {
 	// used as a semi-decision fallback for general TGDs (defaults 200k).
 	OracleMaxTriggers int
 	OracleMaxFacts    int
+	// OracleWorkers sets the oracle chase's match parallelism
+	// (chase.Options.Workers). 0 or 1 runs the sequential engine; any
+	// count yields bit-identical verdicts.
+	OracleWorkers int
 }
 
 func (o DecideOptions) withDefaults() DecideOptions {
@@ -181,6 +185,7 @@ func decideGeneral(ctx context.Context, rs *logic.RuleSet, v ChaseVariant, opt D
 	res, err := critical.OracleContext(ctx, target, chase.SemiOblivious, chase.Options{
 		MaxTriggers: opt.OracleMaxTriggers,
 		MaxFacts:    opt.OracleMaxFacts,
+		Workers:     opt.OracleWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -258,11 +258,20 @@ func (L *matchLevel) start(src candSrc) {
 	}
 }
 
-// next yields the level's next candidate fact id.
-func (L *matchLevel) next(in *Instance) (FactID, bool) {
+// next yields the level's next candidate fact id. Both candidate
+// sources enumerate facts in insertion order — extents are appended to
+// and posting chains are tail-linked by Add — so fact ids are strictly
+// increasing and the first candidate at or beyond limit exhausts the
+// level. That monotonicity is what makes the horizon bound of
+// Snapshot.FindHomsAnchoredAsOfWith a single compare instead of a
+// filter.
+func (L *matchLevel) next(in *Instance, limit FactID) (FactID, bool) {
 	if L.src.list != nil {
 		if L.pos < len(L.src.list) {
 			f := L.src.list[L.pos]
+			if f >= limit {
+				return 0, false
+			}
 			L.pos++
 			return f, true
 		}
@@ -272,6 +281,9 @@ func (L *matchLevel) next(in *Instance) (FactID, bool) {
 		return 0, false
 	}
 	f := FactID(L.cur - 1)
+	if f >= limit {
+		return 0, false
+	}
 	L.cur = in.next[in.facts[f].off+L.src.pos]
 	return f, true
 }
@@ -365,10 +377,13 @@ func (in *Instance) candSource(pa *PatternAtom, binding []TermID) candSrc {
 // with an iterative backtracking loop over per-level candidate cursors.
 // It reports whether the enumeration ran to completion. A nil yield is
 // the allocation-free existence check: the enumeration "stops" (returns
-// false) at the first complete match.
+// false) at the first complete match. Facts with id >= limit are
+// invisible to the enumeration; unbounded callers pass the instance
+// size (no fact is ever excluded, and candidate sources are monotone in
+// fact id, so the bound costs one compare per candidate).
 //
 //chaselint:hotpath
-func (in *Instance) runPlan(p *Pattern, order []int32, sc *MatchScratch, binding []TermID, yield func([]TermID) bool) bool {
+func (in *Instance) runPlan(p *Pattern, order []int32, sc *MatchScratch, binding []TermID, limit FactID, yield func([]TermID) bool) bool {
 	n := len(order)
 	if n == 0 {
 		if yield == nil {
@@ -383,7 +398,7 @@ func (in *Instance) runPlan(p *Pattern, order []int32, sc *MatchScratch, binding
 		L := &levels[lvl]
 		descended := false
 		for {
-			fid, ok := L.next(in)
+			fid, ok := L.next(in, limit)
 			if !ok {
 				break
 			}
@@ -438,7 +453,7 @@ func (in *Instance) FindHomsWith(sc *MatchScratch, p *Pattern, initial []TermID,
 	p.Compile()
 	binding := sc.prepare(p)
 	copy(binding, initial)
-	return in.runPlan(p, p.plans[0], sc, binding, yield)
+	return in.runPlan(p, p.plans[0], sc, binding, FactID(len(in.facts)), yield)
 }
 
 // FindHoms is FindHomsWith with a one-shot scratch. Prefer FindHomsWith
@@ -460,7 +475,7 @@ func (in *Instance) FindHomsAnchoredWith(sc *MatchScratch, p *Pattern, anchor in
 	if !matchAtomInto(&p.Atoms[anchor], in.facts[anchorFact], binding, &sc.anchor) {
 		return true
 	}
-	return in.runPlan(p, p.plans[1+anchor], sc, binding, yield)
+	return in.runPlan(p, p.plans[1+anchor], sc, binding, FactID(len(in.facts)), yield)
 }
 
 // FindHomsAnchored is FindHomsAnchoredWith with a one-shot scratch.
@@ -486,7 +501,7 @@ func (in *Instance) HasHomWith(sc *MatchScratch, p *Pattern, initial []TermID) b
 	p.Compile()
 	binding := sc.prepare(p)
 	copy(binding, initial)
-	return !in.runPlan(p, p.plans[0], sc, binding, nil)
+	return !in.runPlan(p, p.plans[0], sc, binding, FactID(len(in.facts)), nil)
 }
 
 // HasHom is HasHomWith with a one-shot scratch.

@@ -1,0 +1,147 @@
+package instance
+
+import (
+	"testing"
+
+	"chaseterm/internal/logic"
+)
+
+func mustPanic(t *testing.T, what string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic, got none", what)
+		}
+	}()
+	f()
+}
+
+// TestFreezeGuardsMutation: the Snapshot API turns the single-writer
+// contract into a checked one — hot mutators panic while a snapshot is
+// live and work again after Release.
+func TestFreezeGuardsMutation(t *testing.T) {
+	in := New()
+	p := in.Pred("p", 1)
+	a := in.Terms.Const("a")
+	in.Add(p, []TermID{a})
+
+	snap := in.Freeze()
+	if snap.Horizon() != 1 || snap.Size() != 1 {
+		t.Fatalf("horizon %d size %d, want 1 1", snap.Horizon(), snap.Size())
+	}
+	mustPanic(t, "Add while frozen", func() { in.Add(p, []TermID{a}) })
+	mustPanic(t, "FreshNull while frozen", func() { in.Terms.FreshNull(1) })
+	mustPanic(t, "Const interning while frozen", func() { in.Terms.Const("fresh") })
+	mustPanic(t, "Pred interning while frozen", func() { in.Pred("q", 2) })
+	// Pure lookups stay available to frozen readers.
+	if got := in.Pred("p", 1); got != p {
+		t.Errorf("frozen Pred lookup = %d, want %d", got, p)
+	}
+	if in.Terms.Const("a") != a {
+		t.Error("frozen Const lookup changed the id")
+	}
+	if !snap.Contains(p, []TermID{a}) {
+		t.Error("snapshot must contain the pre-freeze fact")
+	}
+
+	// Nested freezes: writable only after the last Release.
+	snap2 := in.Freeze()
+	snap2.Release()
+	mustPanic(t, "Add with one snapshot still live", func() { in.Add(p, []TermID{a}) })
+	snap.Release()
+	if _, added := in.Add(p, []TermID{in.Terms.Const("b")}); !added {
+		t.Error("Add after Release must work")
+	}
+	mustPanic(t, "unbalanced Release", func() { snap.Release() })
+}
+
+// TestSnapshotAsOfMatching: the as-of anchored enumeration sees exactly
+// the facts that existed when the anchor was added — the sequential
+// discovery view — while the plain snapshot enumeration sees the whole
+// frozen prefix.
+func TestSnapshotAsOfMatching(t *testing.T) {
+	in := New()
+	e := in.Pred("e", 2)
+	terms := make([]TermID, 5)
+	for i, name := range []string{"a", "b", "c", "d", "f"} {
+		terms[i] = in.Terms.Const(name)
+	}
+	// Facts in insertion order: e(a,b) id 0, e(b,c) id 1, e(c,d) id 2.
+	for i := 0; i < 3; i++ {
+		in.Add(e, []TermID{terms[i], terms[i+1]})
+	}
+	pat, err := CompileBody(in, []logic.Atom{
+		logic.NewAtom("e", logic.Variable("X"), logic.Variable("Y")),
+		logic.NewAtom("e", logic.Variable("Y"), logic.Variable("Z")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := in.Freeze()
+	defer snap.Release()
+
+	count := func(anchor int, fid FactID) int {
+		n := 0
+		var sc MatchScratch
+		snap.FindHomsAnchoredAsOfWith(&sc, pat, anchor, fid, func([]TermID) bool { n++; return true })
+		return n
+	}
+	// Anchored at fact 1 = e(b,c) as atom 0: the join partner e(c,d) is
+	// fact 2, which did not exist yet when fact 1 was added.
+	if got := count(0, 1); got != 0 {
+		t.Errorf("as-of anchor fact 1 atom 0: %d matches, want 0", got)
+	}
+	// Anchored at fact 1 as atom 1: e(a,b) (fact 0) already existed.
+	if got := count(1, 1); got != 1 {
+		t.Errorf("as-of anchor fact 1 atom 1: %d matches, want 1", got)
+	}
+	// Anchored at fact 2 as atom 1: partner e(b,c) is fact 1 — visible.
+	if got := count(1, 2); got != 1 {
+		t.Errorf("as-of anchor fact 2 atom 1: %d matches, want 1", got)
+	}
+	// The unanchored snapshot enumeration sees the whole prefix.
+	var sc MatchScratch
+	n := 0
+	snap.FindHomsWith(&sc, pat, nil, func([]TermID) bool { n++; return true })
+	if n != 2 {
+		t.Errorf("snapshot FindHoms: %d matches, want 2", n)
+	}
+	if !snap.HasHomWith(&sc, pat, nil) {
+		t.Error("snapshot HasHom must see a match")
+	}
+}
+
+// TestSnapshotHorizonHidesLaterFacts: facts added after the freeze (on a
+// second, released snapshot's instance) are invisible through the first
+// snapshot's bounds. Exercised via the matcher's limit compare on both
+// candidate sources.
+func TestSnapshotHorizonBounds(t *testing.T) {
+	in := New()
+	e := in.Pred("e", 2)
+	a, b, c := in.Terms.Const("a"), in.Terms.Const("b"), in.Terms.Const("c")
+	in.Add(e, []TermID{a, b})
+	snap := in.Freeze()
+	snap.Release() // horizon 1 captured, instance writable again
+	in.Add(e, []TermID{b, c})
+
+	pat, err := CompileBody(in, []logic.Atom{
+		logic.NewAtom("e", logic.Variable("X"), logic.Variable("Y")),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc MatchScratch
+	n := 0
+	snap.FindHomsWith(&sc, pat, nil, func([]TermID) bool { n++; return true })
+	if n != 1 {
+		t.Errorf("stale snapshot sees %d facts, want 1 (its horizon)", n)
+	}
+	if snap.Contains(e, []TermID{b, c}) {
+		t.Error("stale snapshot must not contain a post-freeze fact")
+	}
+	mustPanic(t, "Fact beyond horizon", func() { snap.Fact(1) })
+	mustPanic(t, "as-of anchor beyond horizon", func() {
+		var sc2 MatchScratch
+		snap.FindHomsAnchoredAsOfWith(&sc2, pat, 0, 1, nil)
+	})
+}

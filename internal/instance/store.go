@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"chaseterm/internal/logic"
 )
@@ -94,8 +95,16 @@ func (pt *postTable) grow() {
 // caller; once an instance is frozen — no more writers — any number of
 // goroutines may read it concurrently (Contains, ByPred, ByPosTerm,
 // FindHoms and friends with per-goroutine MatchScratch, FactString, ...).
+// The Freeze/Release Snapshot API makes that contract checked rather than
+// advisory: while a Snapshot is live, the hot mutators panic.
 type Instance struct {
 	Terms *TermTable
+
+	// frozen counts live Snapshots (see Freeze/Release in snapshot.go);
+	// gen counts freezes. While frozen is non-zero the hot mutators
+	// panic, enforcing the single-writer/frozen-read contract above.
+	frozen atomic.Int32
+	gen    uint64
 
 	predByName map[string]PredID
 	predNames  []string
@@ -123,6 +132,12 @@ func New() *Instance {
 // different arities is a programming error and panics (the parser and
 // RuleSet.Validate reject such inputs earlier).
 func (in *Instance) Pred(name string, arity int) PredID {
+	if in.frozen.Load() != 0 {
+		if id, ok := in.predByName[name]; ok && in.predArity[id] == arity {
+			return id // pure lookup: no mutation, safe while frozen
+		}
+		panic("instance: Pred interning on a frozen instance (live Snapshot; see Freeze/Release)")
+	}
 	if id, ok := in.predByName[name]; ok {
 		if in.predArity[id] != arity {
 			panic(fmt.Sprintf("instance: predicate %s used with arity %d and %d", name, in.predArity[id], arity))
@@ -201,6 +216,9 @@ func (in *Instance) growFactSlots(size int) {
 //
 //chaselint:hotpath
 func (in *Instance) Add(p PredID, args []TermID) (FactID, bool) {
+	if in.frozen.Load() != 0 {
+		panic("instance: Add on a frozen instance (live Snapshot; see Freeze/Release)")
+	}
 	if len(in.factSlots) == 0 {
 		in.growFactSlots(16)
 	} else if len(in.facts)*4 >= len(in.factSlots)*3 {

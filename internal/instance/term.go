@@ -18,15 +18,20 @@
 // synchronized — any number of goroutines may read concurrently: Contains,
 // Lookup, ByPred, ByPosTerm, rendering, and homomorphism enumeration with
 // a per-goroutine MatchScratch over patterns whose plans were compiled
-// before the hand-off (CompileBody compiles them eagerly). The chase
-// engine, which owns its instance exclusively while running, relies on
-// exactly this contract; so does the service layer, which only shares
-// chase results after the run completes.
+// before the hand-off (CompileBody compiles them eagerly).
+//
+// The contract is checked, not advisory: Instance.Freeze returns a
+// Snapshot read view and arms a guard that makes the hot mutators (Add,
+// FreshNull, Skolem, ...) panic until the matching Release. The chase
+// engine owns its instance exclusively while running sequentially, and
+// its parallel match phases read through Snapshots; the service layer
+// only shares chase results after the run completes.
 package instance
 
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 )
 
 // TermID is a dense identifier of an interned ground term.
@@ -85,6 +90,10 @@ type TermTable struct {
 	consts map[string]TermID
 	nulls  int
 
+	// frozen mirrors Instance.frozen for the owning instance's Snapshots:
+	// interning panics while a snapshot is live.
+	frozen atomic.Int32
+
 	fnNames []string
 	fnIDs   map[string]SkolemFnID
 	skSlots []int32 // open-addressed: TermID+1 of Skolem terms, 0 = empty
@@ -107,6 +116,9 @@ func (t *TermTable) Const(name string) TermID {
 	if id, ok := t.consts[name]; ok {
 		return id
 	}
+	if t.frozen.Load() != 0 {
+		panic("instance: Const interning on a frozen term table (live Snapshot; see Freeze/Release)")
+	}
 	id := TermID(len(t.infos))
 	t.infos = append(t.infos, termInfo{kind: KindConst, name: name})
 	t.consts[name] = id
@@ -124,6 +136,9 @@ func (t *TermTable) LookupConst(name string) (TermID, bool) {
 // (max birth depth of the trigger's image terms, plus one); it is used for
 // run statistics only.
 func (t *TermTable) FreshNull(depth int32) TermID {
+	if t.frozen.Load() != 0 {
+		panic("instance: FreshNull on a frozen term table (live Snapshot; see Freeze/Release)")
+	}
 	id := TermID(len(t.infos))
 	t.nulls++
 	// The "z<n>" display name is rendered lazily by Name/String so that
@@ -164,6 +179,9 @@ func (t *TermTable) SkolemFnBytes(name []byte) SkolemFnID {
 //
 //chaselint:hotpath
 func (t *TermTable) Skolem(fn SkolemFnID, args []TermID) TermID {
+	if t.frozen.Load() != 0 {
+		panic("instance: Skolem interning on a frozen term table (live Snapshot; see Freeze/Release)")
+	}
 	if len(t.skSlots) == 0 {
 		t.growSkolemSlots(16)
 	} else if t.skCount*4 >= len(t.skSlots)*3 {

@@ -90,6 +90,10 @@ type Options struct {
 	// core.DecideOptions).
 	OracleMaxTriggers int
 	OracleMaxFacts    int
+	// Workers sets the match parallelism of the saturation-tier chases
+	// (chase.Options.Workers). 0 or 1 runs the sequential engine; any
+	// count yields bit-identical verdicts.
+	Workers int
 	// Race runs the applicable exact deciders concurrently once the
 	// ladder is exhausted, cancelling the losers as soon as one decides.
 	Race bool
@@ -212,6 +216,7 @@ func (mfaRung) DecideContext(ctx context.Context, rs *logic.RuleSet, v core.Chas
 	res, run, err := critical.MFAContext(ctx, target, chase.Options{
 		MaxTriggers: opt.OracleMaxTriggers,
 		MaxFacts:    opt.OracleMaxFacts,
+		Workers:     opt.Workers,
 	})
 	if err != nil {
 		return Undecided, Evidence{}, err
@@ -256,6 +261,7 @@ func (saturationRung) DecideContext(ctx context.Context, rs *logic.RuleSet, v co
 	res, err := critical.OracleContext(ctx, target, chase.SemiOblivious, chase.Options{
 		MaxTriggers: opt.OracleMaxTriggers,
 		MaxFacts:    opt.OracleMaxFacts,
+		Workers:     opt.Workers,
 	})
 	if err != nil {
 		return Undecided, Evidence{}, err

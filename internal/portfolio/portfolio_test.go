@@ -3,7 +3,10 @@ package portfolio
 import (
 	"context"
 	"errors"
+	"os"
+	"reflect"
 	"runtime"
+	"strconv"
 	"testing"
 	"time"
 
@@ -235,5 +238,61 @@ func TestCancellationPropagates(t *testing.T) {
 	cancel()
 	if _, err := Run(ctx, rs, core.VariantSemiOblivious, Options{}); !errors.Is(err, context.Canceled) {
 		t.Errorf("err = %v, want context.Canceled", err)
+	}
+}
+
+// testWorkers mirrors the internal/chase suite: CHASE_WORKERS overrides
+// the worker count the parallelism tests force (CI runs this package
+// with CHASE_WORKERS=8 under the race detector); the default is 8 so the
+// striped path runs even without the variable.
+func testWorkers(t *testing.T) int {
+	t.Helper()
+	if s := os.Getenv("CHASE_WORKERS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad CHASE_WORKERS=%q", s)
+		}
+		return n
+	}
+	return 8
+}
+
+// TestWorkersOptionIdenticalLadder: Options.Workers parallelizes the
+// mfa and saturation rung chases. The whole Result must be identical to
+// a sequential ladder run — rung order, per-rung verdicts, the adopted
+// decision, and the budget-exceeded witness strings, which are rendered
+// from chase statistics and so pin those bit-for-bit too.
+func TestWorkersOptionIdenticalLadder(t *testing.T) {
+	cases := []struct{ name, rules string }{
+		// Linear but neither weakly nor jointly acyclic: the mfa rung's
+		// critical chase runs parallel before linear-exact decides.
+		{"linear-through-mfa", `p(X,X) -> q(X,Y). q(X,Y) -> p(Y,Y).`},
+		// General (no guard covers both body variables) and not weakly
+		// acyclic (q[1] -> r[2] -> q[1] through a special edge): the mfa
+		// and saturation rungs both run their chases parallel, and the
+		// saturation oracle exceeds its shrunken budget at exactly the
+		// same statistics.
+		{"general-saturation", `p(X), q(Y) -> r(X,Y). r(X,Y) -> q(Z), s(Y,Z).`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rs := parse.MustParseRules(tc.rules)
+			run := func(workers int) *Result {
+				res, err := Run(context.Background(), rs, core.VariantSemiOblivious,
+					Options{OracleMaxTriggers: 4000, OracleMaxFacts: 4000, Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range res.Rungs {
+					res.Rungs[i].Elapsed = 0
+				}
+				return res
+			}
+			seq := run(1)
+			par := run(testWorkers(t))
+			if !reflect.DeepEqual(par, seq) {
+				t.Errorf("workers=%d result %+v\nsequential %+v", testWorkers(t), par, seq)
+			}
+		})
 	}
 }

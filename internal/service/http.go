@@ -185,6 +185,7 @@ func Capabilities() api.Capabilities {
 		Version:        api.Version,
 		Portfolio:      true,
 		PortfolioRungs: chaseterm.PortfolioRungNames(),
+		ParallelChase:  true,
 	}
 }
 

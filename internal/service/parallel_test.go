@@ -1,0 +1,101 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+
+	"chaseterm/api"
+)
+
+// parallelChaseReq is a chase job wide enough to cross the parallel
+// engine's inline-delta threshold, so the striped match phase runs.
+func parallelChaseReq(workers int) api.AnalyzeRequest {
+	var db strings.Builder
+	for i := 0; i < 80; i++ {
+		fmt.Fprintf(&db, "e(a%d,a%d).\n", i, i+1)
+	}
+	return api.AnalyzeRequest{
+		Kind:         api.KindChase,
+		Rules:        "e(X,Y) -> r(X,Y).\nr(X,Y) -> s(Y,X).\ne(X,Y), e(Y,Z) -> t(X,Z).",
+		Database:     db.String(),
+		ChaseWorkers: workers,
+	}
+}
+
+// TestChaseWorkersFieldIdenticalResults: the chaseWorkers wire field is
+// accepted and a parallel run reports the exact statistics of a
+// sequential one — the determinism contract holds across the HTTP
+// boundary.
+func TestChaseWorkersFieldIdenticalResults(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	run := func(workers int) api.ChaseStats {
+		resp, data := postJSON(t, srv.URL+"/v2/analyze", parallelChaseReq(workers))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("workers=%d: status %d: %s", workers, resp.StatusCode, data)
+		}
+		var out api.AnalyzeResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		if out.Chase == nil || out.Chase.Outcome != "terminated" {
+			t.Fatalf("workers=%d: chase %+v", workers, out.Chase)
+		}
+		return out.Chase.Stats
+	}
+	seq := run(1)
+	par := run(8)
+	if !reflect.DeepEqual(par, seq) {
+		t.Errorf("workers=8 stats %+v, sequential %+v", par, seq)
+	}
+}
+
+// TestChaseWorkersServerDefault: a request that leaves chaseWorkers at
+// zero inherits the engine's configured default and still matches the
+// sequential statistics.
+func TestChaseWorkersServerDefault(t *testing.T) {
+	seqSrv := newTestServer(t, Options{Workers: 1})
+	parSrv := newTestServer(t, Options{Workers: 1, ChaseWorkers: 8})
+	run := func(url string) api.ChaseStats {
+		resp, data := postJSON(t, url+"/v2/analyze", parallelChaseReq(0))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		var out api.AnalyzeResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Chase.Stats
+	}
+	if seq, par := run(seqSrv.URL), run(parSrv.URL); !reflect.DeepEqual(par, seq) {
+		t.Errorf("default-workers stats %+v, sequential %+v", par, seq)
+	}
+}
+
+// TestChaseWorkersValidation: out-of-range chaseWorkers is a bad
+// request with the standard envelope, not a silent clamp.
+func TestChaseWorkersValidation(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	for _, workers := range []int{-1, maxChaseWorkers + 1} {
+		req := parallelChaseReq(workers)
+		resp, data := postJSON(t, srv.URL+"/v2/analyze", req)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("chaseWorkers=%d: status %d, want 400: %s", workers, resp.StatusCode, data)
+		}
+	}
+}
+
+// TestCapabilitiesAdvertiseParallelChase: clients discover the
+// chaseWorkers field through the capability flag before using it (the
+// v2 decoder rejects unknown fields on older servers).
+func TestCapabilitiesAdvertiseParallelChase(t *testing.T) {
+	srv := newTestServer(t, Options{Workers: 1})
+	var caps api.Capabilities
+	getJSON(t, srv.URL+"/v2/capabilities", &caps)
+	if !caps.ParallelChase {
+		t.Errorf("capabilities = %+v, want parallelChase true", caps)
+	}
+}

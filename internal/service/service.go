@@ -55,6 +55,12 @@ var ErrUnprocessable = errors.New("analysis failed")
 // facts/triggers/shapes, 250k node types).
 const maxRequestBudget = 10_000_000
 
+// maxChaseWorkers caps the per-request chase parallelism. Results are
+// identical at every worker count, so a huge value buys nothing but
+// goroutine churn; the cap keeps one request from spawning an
+// unreasonable match fleet.
+const maxChaseWorkers = 64
+
 // Options configure an Engine; zero values select the defaults noted on
 // each field.
 type Options struct {
@@ -67,6 +73,11 @@ type Options struct {
 	JobTimeout time.Duration
 	// MaxBatch bounds jobs per Batch call (default 256).
 	MaxBatch int
+	// ChaseWorkers is the default match parallelism of chase runs when a
+	// request does not set its own chaseWorkers field (cmd/chased's
+	// -chase-workers flag). 0 or 1 means sequential; results are
+	// bit-identical either way.
+	ChaseWorkers int
 	// DecideFunc overrides the all-instance decision procedure — for
 	// tests and instrumentation wrappers. Nil means the library decider
 	// (chaseterm.Analyzer). Implementations must honor the context: it
@@ -560,13 +571,18 @@ func (e *Engine) doDecideOnDatabase(ctx context.Context, req api.AnalyzeRequest,
 }
 
 // chaseRequestOptions translates the chase-relevant wire fields —
-// variant, budgets, database — into facade options. Shared by the
-// one-shot (doChase) and streaming (ChaseStream) paths so the two
-// translations cannot drift.
-func chaseRequestOptions(req api.AnalyzeRequest) ([]chaseterm.RequestOption, error) {
+// variant, budgets, database, parallelism — into facade options. Shared
+// by the one-shot (doChase) and streaming (ChaseStream) paths so the
+// two translations cannot drift. A request that leaves chaseWorkers at
+// zero inherits the server's configured default.
+func (e *Engine) chaseRequestOptions(req api.AnalyzeRequest) ([]chaseterm.RequestOption, error) {
 	variant, err := parseVariant(req.Variant)
 	if err != nil {
 		return nil, err
+	}
+	workers := req.ChaseWorkers
+	if workers == 0 {
+		workers = e.opts.ChaseWorkers
 	}
 	opts := []chaseterm.RequestOption{
 		chaseterm.WithVariant(variant),
@@ -574,6 +590,7 @@ func chaseRequestOptions(req api.AnalyzeRequest) ([]chaseterm.RequestOption, err
 			MaxTriggers: req.MaxTriggers,
 			MaxFacts:    req.MaxFacts,
 			MaxDepth:    req.MaxDepth,
+			Workers:     workers,
 		}),
 	}
 	if strings.TrimSpace(req.Database) != "" {
@@ -587,7 +604,7 @@ func chaseRequestOptions(req api.AnalyzeRequest) ([]chaseterm.RequestOption, err
 }
 
 func (e *Engine) doChase(ctx context.Context, req api.AnalyzeRequest, rules *chaseterm.RuleSet) (*api.AnalyzeResponse, error) {
-	opts, err := chaseRequestOptions(req)
+	opts, err := e.chaseRequestOptions(req)
 	if err != nil {
 		return nil, err
 	}
@@ -743,6 +760,10 @@ func checkBudgets(req api.AnalyzeRequest) error {
 			return fmt.Errorf("%w: %s must be between 0 and %d, got %d",
 				ErrBadRequest, b.name, maxRequestBudget, b.val)
 		}
+	}
+	if req.ChaseWorkers < 0 || req.ChaseWorkers > maxChaseWorkers {
+		return fmt.Errorf("%w: chaseWorkers must be between 0 and %d, got %d",
+			ErrBadRequest, maxChaseWorkers, req.ChaseWorkers)
 	}
 	return nil
 }

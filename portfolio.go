@@ -98,6 +98,7 @@ func decidePortfolio(ctx context.Context, rules *RuleSet, v Variant, opt DecideO
 		},
 		OracleMaxTriggers: opt.OracleMaxTriggers,
 		OracleMaxFacts:    opt.OracleMaxFacts,
+		Workers:           opt.OracleWorkers,
 		Race:              popt.Race,
 	})
 	if err != nil {
